@@ -1,0 +1,60 @@
+package autorfm_test
+
+import (
+	"testing"
+
+	"autorfm"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	p, err := autorfm.Workload("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := autorfm.Run(autorfm.Config{Workload: p, Instructions: 60_000, Seed: 1})
+	auto := autorfm.Run(autorfm.Config{
+		Workload:     p,
+		Mechanism:    autorfm.AutoRFM,
+		TH:           4,
+		Mapping:      "rubix",
+		Instructions: 60_000,
+		Seed:         1,
+	})
+	sd := autorfm.Slowdown(base, auto)
+	if sd > 8 {
+		t.Fatalf("AutoRFM-4 slowdown = %.1f%%, expected small", sd)
+	}
+	if auto.Dev.Mitigations == 0 {
+		t.Fatal("no mitigations performed")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if got := len(autorfm.Workloads()); got != 21 {
+		t.Fatalf("Workloads = %d, want 21", got)
+	}
+	if _, err := autorfm.Workload("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if got := len(autorfm.Experiments()); got < 14 {
+		t.Fatalf("Experiments = %d, want ≥ 14", got)
+	}
+	e, ok := autorfm.ExperimentByID("tab3")
+	if !ok {
+		t.Fatal("tab3 not found")
+	}
+	res := e.Run(autorfm.QuickScale())
+	if res.Table == nil || len(res.Table.Rows) == 0 {
+		t.Fatal("tab3 produced no rows")
+	}
+}
+
+func TestScales(t *testing.T) {
+	q, f := autorfm.QuickScale(), autorfm.FullScale()
+	if q.Instructions >= f.Instructions {
+		t.Fatal("quick scale not smaller than full scale")
+	}
+}

@@ -1,0 +1,101 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment from the registry at
+// quick scale and reports its headline numbers as custom metrics; run with
+//
+//	go test -bench=. -benchmem
+//
+// and compare against the reference values recorded in EXPERIMENTS.md
+// (the paper's numbers are quoted in each experiment's doc comment). Use
+// cmd/autorfm-bench -scale full for publication-scale runs.
+package autorfm_test
+
+import (
+	"sort"
+	"testing"
+
+	"autorfm"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := autorfm.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	sc := autorfm.QuickScale()
+	var res autorfm.ExperimentResult
+	for i := 0; i < b.N; i++ {
+		res = e.Run(sc)
+	}
+	keys := make([]string, 0, len(res.Summary))
+	for k := range res.Summary {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.ReportMetric(res.Summary[k], k)
+	}
+	if testing.Verbose() {
+		b.Logf("\n%s", res)
+	}
+}
+
+// BenchmarkFig1d regenerates Fig 1(d): RFM slowdown vs tolerated threshold.
+func BenchmarkFig1d(b *testing.B) { benchExperiment(b, "fig1d") }
+
+// BenchmarkFig3 regenerates Fig 3: per-workload slowdown of RFM-4/8/16/32
+// (paper averages 33%, 12.9%, 4.4%, 0.2%).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkTable3 regenerates Table III: MINT's tolerated TRH-D vs window
+// (paper: 96/182/356/702 for windows 4/8/16/32).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "tab3") }
+
+// BenchmarkTable5 regenerates Table V: per-workload ACT-PKI and per-bank
+// ACT-per-tREFI against the published values.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "tab5") }
+
+// BenchmarkFig8 regenerates Fig 8: AutoRFM-4 slowdown and ALERT/ACT under
+// Zen vs Rubix mapping (paper: 16.5%→3.1% slowdown, 3.7%→0.22% alerts).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkTable6 regenerates Table VI: AutoRFM slowdown and the tolerated
+// TRH-D of recursive vs fractal mitigation for AutoRFMTH 4/5/6/8.
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "tab6") }
+
+// BenchmarkFig11 regenerates Fig 11: RFM vs AutoRFM slowdown at TH 4 and 8
+// (paper: 33%→3.1% at TH 4, 12.9%→2.3% at TH 8).
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Fig 12: DRAM power for baseline, Rubix,
+// AutoRFM-8 and AutoRFM-4 (paper: +65mW and +92mW for AutoRFM-8/4).
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Fig 13: average slowdown of PRAC, RFM and
+// AutoRFM across tolerated thresholds.
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Appendix A Fig 14: TRH-D vs MINT window for
+// recursive and fractal mitigation.
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig16 regenerates Appendix B Fig 16: escape probability vs
+// damage for MINT-4 and Fractal Mitigation.
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17 regenerates Appendix C Fig 17: RFM slowdown on Zen vs
+// Rubix mapped systems (paper: 33.1% vs 35.1% at RFM-4).
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkFig18 regenerates Appendix D Fig 18: TRH-D tolerated by PrIDE,
+// MINT and Mithril under AutoRFM.
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+
+// BenchmarkAppB regenerates the Appendix B security audit: Fractal
+// Mitigation versus Half-Double and direct attacks.
+func BenchmarkAppB(b *testing.B) { benchExperiment(b, "appb") }
+
+// BenchmarkAblations quantifies the design choices DESIGN.md calls out:
+// the ALERT retry wait, opportunistic RFM scheduling, the memory-mapping
+// spectrum, and the prefetcher's role in subarray conflicts.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablate") }

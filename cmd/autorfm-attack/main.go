@@ -1,0 +1,100 @@
+// Command autorfm-attack drives Rowhammer attack patterns against a bank
+// defended by a tracker + mitigation-policy stack and reports the security
+// audit: whether any row ever accumulated the threshold number of
+// neighbour activations without an intervening refresh.
+//
+// Examples:
+//
+//	autorfm-attack -pattern half-double -policy baseline -trhd 74
+//	autorfm-attack -pattern circular -policy fractal -trhd 74 -acts 5000000
+//	autorfm-attack -sweep -policy fractal      # find the failing threshold
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autorfm/internal/attack"
+)
+
+func pattern(name string) (attack.Pattern, error) {
+	switch name {
+	case "single-sided":
+		return attack.SingleSided(70_000), nil
+	case "double-sided":
+		return attack.DoubleSided(90_000), nil
+	case "circular":
+		return attack.Circular(100_000, 4), nil
+	case "half-double":
+		return attack.HalfDouble(64 * 1024), nil
+	case "many-sided":
+		return attack.ManySided(40_000, 10), nil
+	case "decoy-flood":
+		return attack.DecoyFlood(45_000, 64), nil
+	}
+	return attack.Pattern{}, fmt.Errorf("unknown pattern %q", name)
+}
+
+func main() {
+	var (
+		pat    = flag.String("pattern", "double-sided", "attack pattern: single-sided|double-sided|circular|half-double|many-sided|decoy-flood")
+		policy = flag.String("policy", "fractal", "mitigation policy: fractal|recursive|baseline")
+		th     = flag.Int("th", 4, "AutoRFMTH / RFMTH")
+		trhd   = flag.Uint("trhd", 74, "double-sided Rowhammer threshold under audit")
+		acts   = flag.Uint64("acts", 2_000_000, "attacker activation budget")
+		seed   = flag.Uint64("seed", 1, "seed")
+		block  = flag.Bool("blocking", false, "use blocking RFM instead of AutoRFM")
+		sweep  = flag.Bool("sweep", false, "sweep TRH-D downward to find where the defence first fails")
+	)
+	flag.Parse()
+
+	p, err := pattern(*pat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	run := func(trhd uint32) attack.Report {
+		rep, err := attack.Run(attack.Config{
+			TH:       *th,
+			Policy:   *policy,
+			TRHD:     trhd,
+			Acts:     *acts,
+			Seed:     *seed,
+			Blocking: *block,
+		}, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return rep
+	}
+
+	if *sweep {
+		fmt.Printf("sweeping %s vs %s (TH=%d, %d acts per point)\n", *pat, *policy, *th, *acts)
+		fmt.Printf("%8s %10s %12s\n", "TRH-D", "failures", "max damage")
+		for _, t := range []uint32{148, 96, 74, 53, 40, 30, 20, 10} {
+			rep := run(t)
+			fmt.Printf("%8d %10d %12d\n", t, rep.Failures, rep.MaxDamage)
+		}
+		return
+	}
+
+	rep := run(uint32(*trhd))
+	fmt.Printf("pattern       %s\n", p.Name)
+	fmt.Printf("defence       MINT-%d + %s (%s)\n", *th, *policy,
+		map[bool]string{true: "blocking RFM", false: "AutoRFM"}[*block])
+	fmt.Printf("threshold     TRH-D %d (audit fails a row at %d single-sided activations)\n",
+		*trhd, 2**trhd)
+	fmt.Printf("activations   %d successful, %d alerted\n", rep.Acts, rep.Alerts)
+	fmt.Printf("mitigations   %d (%d transitive, %d victim refreshes)\n",
+		rep.Mitigations, rep.Transitive, rep.Refreshes)
+	fmt.Printf("max damage    %d\n", rep.MaxDamage)
+	if rep.Failures == 0 {
+		fmt.Printf("result        SECURE: no row crossed the threshold\n")
+	} else {
+		fmt.Printf("result        BROKEN: %d Rowhammer failures\n", rep.Failures)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,75 @@
+// Command autorfm-bench regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	autorfm-bench -list                 # show available experiments
+//	autorfm-bench -exp fig3             # one experiment at quick scale
+//	autorfm-bench -exp all -scale full  # everything at publication scale
+//	autorfm-bench -exp fig8 -instr 500000 -workloads bwaves,lbm,mcf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"autorfm"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale = flag.String("scale", "quick", "effort: quick|full")
+		instr = flag.Int64("instr", 0, "override instructions per core")
+		wls   = flag.String("workloads", "", "comma-separated workload subset")
+		seed  = flag.Uint64("seed", 1, "seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range autorfm.Experiments() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc autorfm.Scale
+	switch *scale {
+	case "quick":
+		sc = autorfm.QuickScale()
+	case "full":
+		sc = autorfm.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+	if *instr > 0 {
+		sc.Instructions = *instr
+	}
+	if *wls != "" {
+		sc.Workloads = strings.Split(*wls, ",")
+	}
+	sc.Seed = *seed
+
+	var todo []autorfm.Experiment
+	if *expID == "all" {
+		todo = autorfm.Experiments()
+	} else {
+		e, ok := autorfm.ExperimentByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *expID)
+			os.Exit(1)
+		}
+		todo = []autorfm.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		res := e.Run(sc)
+		fmt.Println(res)
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,149 @@
+// Command autorfm-sim runs one workload under one mitigation configuration
+// on the simulated 8-core DDR5 system and prints the performance and
+// device statistics, optionally alongside the no-mitigation baseline.
+//
+// Examples:
+//
+//	autorfm-sim -workload bwaves -mech autorfm -th 4 -mapping rubix
+//	autorfm-sim -workload mcf -mech rfm -th 8 -instr 500000
+//	autorfm-sim -record trace.arfm -workload lbm   # freeze a trace to disk
+//	autorfm-sim -replay trace.arfm -mech autorfm   # drive the sim with it
+//	autorfm-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autorfm"
+	"autorfm/internal/cpu"
+	"autorfm/internal/dram"
+	"autorfm/internal/sim"
+	"autorfm/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "bwaves", "workload name (see -list)")
+		mech    = flag.String("mech", "autorfm", "mitigation mechanism: none|rfm|autorfm|prac")
+		th      = flag.Int("th", 4, "mitigation interval in activations (RFMTH/AutoRFMTH)")
+		mapName = flag.String("mapping", "amd-zen", "memory mapping: amd-zen|rubix|page-in-row")
+		policy  = flag.String("policy", "fractal", "victim-refresh policy: fractal|recursive|baseline")
+		trk     = flag.String("tracker", "mint", "in-DRAM tracker: mint|pride|parfm|mithril|graphene|twice")
+		instr   = flag.Int64("instr", 300_000, "instructions per core")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		noBase  = flag.Bool("nobaseline", false, "skip the baseline run (no slowdown reported)")
+		list    = flag.Bool("list", false, "list workloads and exit")
+		record  = flag.String("record", "", "capture the workload's core-0 access stream to this trace file and exit")
+		recN    = flag.Int("record-n", 1_000_000, "records to capture with -record")
+		replay  = flag.String("replay", "", "replay a recorded trace file on a single core instead of the synthetic workload")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-8s %8s %12s\n", "workload", "suite", "ACT-PKI", "ACT/tREFI")
+		for _, p := range autorfm.Workloads() {
+			fmt.Printf("%-12s %-8s %8.1f %12.1f\n", p.Name, p.Suite, p.TargetACTPKI, p.TargetACTPerTREFI)
+		}
+		return
+	}
+
+	prof, err := autorfm.Workload(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		gen := workload.NewGenerator(prof, 0, *seed^0xc0de)
+		if err := workload.Capture(f, gen, *recN); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d records of %s (core 0) to %s\n", *recN, prof.Name, *record)
+		return
+	}
+
+	var mode autorfm.Mechanism
+	switch *mech {
+	case "none":
+		mode = autorfm.None
+	case "rfm":
+		mode = autorfm.RFM
+	case "autorfm":
+		mode = autorfm.AutoRFM
+	case "prac":
+		mode = autorfm.PRAC
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mechanism %q\n", *mech)
+		os.Exit(1)
+	}
+
+	scfg := sim.Config{
+		Workload:            prof,
+		Mode:                mode,
+		TH:                  *th,
+		Mapping:             *mapName,
+		Policy:              *policy,
+		Tracker:             *trk,
+		InstructionsPerCore: *instr,
+		Seed:                *seed,
+	}
+	if *replay != "" {
+		// Replay runs the user's trace on one core; the workload profile
+		// only pre-warms the cache.
+		scfg.Cores = 1
+		scfg.NewStream = func(core int) cpu.Stream {
+			f, err := os.Open(*replay)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			tr, err := workload.NewTraceReader(f)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return tr
+		}
+	}
+	res := sim.MustRun(scfg)
+
+	fmt.Printf("workload      %s (%s)\n", prof.Name, prof.Suite)
+	fmt.Printf("mechanism     %s  TH=%d  mapping=%s  policy=%s  tracker=%s\n",
+		mode, *th, *mapName, *policy, *trk)
+	fmt.Printf("simulated     %.3f ms  (%d instructions across %d cores)\n",
+		res.Elapsed.Seconds()*1e3, res.Instructions, len(res.FinishTimes))
+	fmt.Printf("ACT-PKI       %.1f   ACT/tREFI/bank %.1f   row-hit %.1f%%\n",
+		res.ACTPKI(), res.ACTPerTREFI(), res.MC.RowHitRate()*100)
+	fmt.Printf("reads/writes  %d / %d   avg read latency %.0f ns\n",
+		res.MC.Reads, res.MC.Writes, res.MC.AvgReadLatency())
+	fmt.Printf("mitigations   %d (%d victim refreshes, %d transitive)\n",
+		res.Dev.Mitigations, res.Dev.VictimRefreshes, res.Dev.TransitiveMits)
+	switch mode {
+	case dram.ModeRFM:
+		fmt.Printf("RFM commands  %d   REFs %d\n", res.MC.RFMs, res.MC.REFs)
+	case dram.ModeAutoRFM:
+		fmt.Printf("ALERTs        %d (%.3f%% of ACTs)\n", res.MC.Alerts, res.AlertPerAct()*100)
+	case dram.ModePRAC:
+		fmt.Printf("ABO back-offs %d\n", res.MC.PRACBackoffs)
+	}
+
+	if !*noBase && mode != autorfm.None {
+		bcfg := scfg
+		bcfg.Mode = dram.ModeNone
+		base := sim.MustRun(bcfg)
+		fmt.Printf("slowdown      %.2f%% vs no-mitigation baseline\n",
+			sim.Slowdown(base, res))
+	}
+}

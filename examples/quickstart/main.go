@@ -1,0 +1,50 @@
+// Quickstart: compare the cost of blocking RFM against transparent AutoRFM
+// at an ultra-low Rowhammer threshold, on one memory-intensive workload.
+//
+// This reproduces the paper's headline claim in miniature: at a mitigation
+// interval of 4 activations (TRH-D ≈ 74 with MINT + Fractal Mitigation),
+// blocking RFM costs tens of percent while AutoRFM with randomised mapping
+// costs almost nothing.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autorfm"
+)
+
+func main() {
+	prof, err := autorfm.Workload("bwaves")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const instr = 300_000
+
+	base := autorfm.Run(autorfm.Config{
+		Workload: prof, Instructions: instr, Seed: 1,
+	})
+	fmt.Printf("baseline:   %.1f ACT-PKI, %.1f ACTs/tREFI/bank, %.0fns avg read\n",
+		base.ACTPKI(), base.ACTPerTREFI(), base.MC.AvgReadLatency())
+
+	rfm := autorfm.Run(autorfm.Config{
+		Workload: prof, Mechanism: autorfm.RFM, TH: 4,
+		Instructions: instr, Seed: 1,
+	})
+	fmt.Printf("RFM-4:      %5.1f%% slowdown (%d blocking RFM commands)\n",
+		autorfm.Slowdown(base, rfm), rfm.MC.RFMs)
+
+	auto := autorfm.Run(autorfm.Config{
+		Workload: prof, Mechanism: autorfm.AutoRFM, TH: 4, Mapping: "rubix",
+		Instructions: instr, Seed: 1,
+	})
+	fmt.Printf("AutoRFM-4:  %5.1f%% slowdown (%d transparent mitigations, "+
+		"%.2f%% of ACTs alerted)\n",
+		autorfm.Slowdown(base, auto), auto.Dev.Mitigations, auto.AlertPerAct()*100)
+
+	fmt.Println("\nAutoRFM provides the same mitigation rate without stalling the")
+	fmt.Println("bank: only the subarray under mitigation is busy, and randomised")
+	fmt.Println("mapping makes conflicts with it vanishingly rare.")
+}

@@ -1,0 +1,58 @@
+// Threshold model: the security mathematics of Appendices A and B.
+//
+// This example walks the paper's analytic chain:
+//
+//  1. MINT's tolerated threshold vs window (Eq 5-7, Table III / Table VI):
+//     each activation of an attacked row is selected for mitigation with
+//     probability 1/W (fractal) or 1/(W+1) (recursive), and the threshold
+//     follows from the 10,000-year MTTF target.
+//  2. Fractal Mitigation's own security (Eq 8-10, Fig 16): an attacker can
+//     try to weaponise FM's probabilistic refreshes, but the escape
+//     probability decays as e^(-damage/2.5), making such attacks viable
+//     only below TRH-D ≈ 52 — under AutoRFM's minimum of 74.
+//
+// Run with: go run ./examples/thresholdmodel
+package main
+
+import (
+	"fmt"
+
+	"autorfm/internal/analytic"
+	"autorfm/internal/clk"
+)
+
+func main() {
+	tm := clk.DDR5()
+
+	fmt.Println("Tolerated TRH-D vs MINT window (MTTF target: 10,000 years)")
+	fmt.Printf("%8s %18s %18s\n", "window", "recursive (paper)", "fractal (paper)")
+	paperRM := map[int]string{4: "96", 5: "117", 6: "139", 8: "182", 16: "356", 32: "702"}
+	paperFM := map[int]string{4: "74", 5: "96", 6: "117", 8: "161", 16: "-", 32: "-"}
+	for _, w := range []int{4, 5, 6, 8, 16, 32} {
+		_, rm := analytic.MINTThreshold(w, true, tm, analytic.MTTFTarget)
+		_, fm := analytic.MINTThreshold(w, false, tm, analytic.MTTFTarget)
+		fmt.Printf("%8d %10.0f (%4s) %10.0f (%4s)\n", w, rm, paperRM[w], fm, paperFM[w])
+	}
+
+	fmt.Println("\nWhich window does a given threshold require?")
+	for _, trhd := range []float64{74, 100, 200, 400, 700} {
+		w := analytic.WindowForThreshold(trhd, false, tm, analytic.MTTFTarget)
+		fmt.Printf("  TRH-D %4.0f -> AutoRFMTH %d (mitigate every %d activations)\n",
+			trhd, w, w)
+	}
+
+	fmt.Println("\nSecurity of Fractal Mitigation against its own refreshes (Appendix B):")
+	fmt.Printf("  escape probability at damage D: e^(-D/2.5)\n")
+	for _, d := range []float64{40, 80, 104, 120} {
+		fmt.Printf("  D=%4.0f -> P_escape = %.2e\n", d, analytic.EscapeProbFM(d))
+	}
+	fmt.Printf("  damage limit at 1e-18: %.0f  =>  FM-only attacks need TRH-D < %.0f\n",
+		analytic.FMDamageLimit(1e-18), analytic.FMMinimumSafeTRHD())
+
+	fmt.Println("\nMixed attacks don't help the attacker (Fig 16):")
+	mixed := analytic.EscapeProbFM(40) * analytic.EscapeProbMINT(4, 80)
+	direct := analytic.EscapeProbMINT(4, 120)
+	fmt.Printf("  40 FM + 80 direct activations: P_escape = %.1e\n", mixed)
+	fmt.Printf("  120 direct activations:        P_escape = %.1e  (%.0fx more likely)\n",
+		direct, direct/mixed)
+}

@@ -1,0 +1,65 @@
+// Tracker zoo: AutoRFM is tracker-agnostic (Appendix D).
+//
+// AutoRFM only defines *when* mitigation time exists (every AutoRFMTH
+// activations, inside one subarray); *which* row gets mitigated is the
+// in-DRAM tracker's choice. This example runs the same workload under
+// AutoRFM-4 with every tracker in the library and shows that the
+// performance cost is essentially tracker-independent — exactly the
+// paper's observation ("the slowdown of AutoRFM is not dependent on the
+// in-DRAM tracker and is dictated only by AutoRFMTH") — while the
+// *security* each tracker buys differs (Fig 18).
+//
+// Run with: go run ./examples/trackerzoo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autorfm"
+	"autorfm/internal/analytic"
+	"autorfm/internal/clk"
+	"autorfm/internal/rng"
+	"autorfm/internal/tracker"
+)
+
+func main() {
+	prof, err := autorfm.Workload("pagerank")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const instr = 200_000
+	base := autorfm.Run(autorfm.Config{Workload: prof, Instructions: instr, Seed: 1})
+
+	fmt.Println("AutoRFM-4 on 'pagerank', one run per tracker:")
+	fmt.Printf("%-10s %12s %14s\n", "tracker", "slowdown", "mitigations")
+	for _, tr := range []string{"mint", "pride", "parfm", "mithril", "graphene", "twice"} {
+		r := autorfm.Run(autorfm.Config{
+			Workload: prof, Mechanism: autorfm.AutoRFM, TH: 4,
+			Mapping: "rubix", Tracker: tr, Instructions: instr, Seed: 1,
+		})
+		fmt.Printf("%-10s %11.1f%% %14d\n", tr, autorfm.Slowdown(base, r), r.Dev.Mitigations)
+	}
+	fmt.Println("  (probabilistic trackers mitigate once per window; the")
+	fmt.Println("   threshold-triggered counter trackers — graphene, twice —")
+	fmt.Println("   stay silent on benign traffic where no row ever gets hot)")
+
+	fmt.Println("\nWhat differs is the tolerated threshold (Appendix D, Fig 18):")
+	tm := clk.DDR5()
+	for _, th := range []int{4, 8} {
+		th := th
+		pMINT := analytic.EmpiricalSelectionProb(func(r *rng.Source) tracker.Tracker {
+			return tracker.NewMINT(th, false, r)
+		}, th, 200_000, 1)
+		pPrIDE := analytic.EmpiricalSelectionProb(func(r *rng.Source) tracker.Tracker {
+			return tracker.NewPrIDE(th, 4, r)
+		}, th, 200_000, 1)
+		fmt.Printf("  AutoRFMTH=%d: MINT TRH-D %.0f, PrIDE TRH-D %.0f\n",
+			th,
+			analytic.TrackerThreshold(pMINT, th, tm, analytic.MTTFTarget),
+			analytic.TrackerThreshold(pPrIDE, th, tm, analytic.MTTFTarget))
+	}
+	fmt.Println("\nMINT's guarantee of exactly one uniform selection per window gives")
+	fmt.Println("it the lowest threshold at the same (tiny) storage cost, which is")
+	fmt.Println("why the paper adopts it as the representative low-cost tracker.")
+}

@@ -1,0 +1,3 @@
+module autorfm
+
+go 1.22

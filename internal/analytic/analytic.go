@@ -1,0 +1,201 @@
+// Package analytic implements the paper's closed-form security models:
+//
+//   - Appendix A (Eqs 1–7): the MTTF model of MINT under RFM/AutoRFM, which
+//     yields the tolerated Rowhammer threshold (TRH-D) as a function of the
+//     mitigation window — the numbers behind Table III, Table VI, Fig 14
+//     and Fig 18.
+//   - Appendix B (Eqs 8–10): the security of Fractal Mitigation against
+//     attacks that weaponise its own victim refreshes, including the
+//     escape-probability curves of Fig 16 and the mixed-attack argument.
+//
+// The same machinery generalises to other trackers (Appendix D) through an
+// empirically-measured per-activation selection probability.
+package analytic
+
+import (
+	"math"
+
+	"autorfm/internal/clk"
+	"autorfm/internal/rng"
+	"autorfm/internal/tracker"
+)
+
+// MTTFTarget is the paper's security target: a mean time to failure of
+// 10,000 years, expressed in seconds.
+const MTTFTarget = 10_000 * 365.25 * 24 * 3600
+
+// EpochTime returns t_E of Eq 2: the time one attack epoch takes — W²
+// activations at tRC plus one mitigation of t_M — in seconds.
+func EpochTime(w int, tm clk.Timing) float64 {
+	trc := tm.TRC.Seconds()
+	tMit := tm.MitigationTime(4).Seconds()
+	return float64(w*w)*trc + tMit
+}
+
+// numerator returns (W·tRC + t_M/W) of Eq 5 in seconds.
+func numerator(w int, tm clk.Timing) float64 {
+	return float64(w)*tm.TRC.Seconds() + tm.MitigationTime(4).Seconds()/float64(w)
+}
+
+// SelectionProb returns MINT's per-activation selection probability: 1/W
+// with Fractal Mitigation (all W slots select demand rows), 1/(W+1) with
+// recursive mitigation (one slot reserved for transitive re-mitigation,
+// Section V-B).
+func SelectionProb(w int, recursive bool) float64 {
+	if recursive {
+		return 1 / float64(w+1)
+	}
+	return 1 / float64(w)
+}
+
+// ThresholdForProb inverts Eq 5 for an arbitrary per-activation selection
+// probability p: the single-sided activation count T at which the MTTF
+// equals mttf seconds, for a window of w activations.
+func ThresholdForProb(p float64, w int, tm clk.Timing, mttf float64) float64 {
+	return math.Log(numerator(w, tm)/mttf) / math.Log(1-p)
+}
+
+// MINTThreshold returns the tolerated single-sided threshold T (Eq 6) and
+// double-sided threshold TRH-D = T/2 (Eq 7) for MINT with window w.
+func MINTThreshold(w int, recursive bool, tm clk.Timing, mttf float64) (t, trhd float64) {
+	t = ThresholdForProb(SelectionProb(w, recursive), w, tm, mttf)
+	return t, t / 2
+}
+
+// MTTF returns Eq 5: the mean time to failure in seconds for MINT with
+// window w at single-sided threshold t.
+func MTTF(w int, recursive bool, tm clk.Timing, t float64) float64 {
+	p := SelectionProb(w, recursive)
+	return numerator(w, tm) / math.Pow(1-p, t)
+}
+
+// WindowForThreshold returns the largest MINT window whose tolerated TRH-D
+// is at or below trhd (i.e. the cheapest mitigation rate that is still
+// secure at that threshold). It returns 0 if even w=1 cannot tolerate it.
+func WindowForThreshold(trhd float64, recursive bool, tm clk.Timing, mttf float64) int {
+	best := 0
+	for w := 1; w <= 128; w++ {
+		if _, d := MINTThreshold(w, recursive, tm, mttf); d <= trhd {
+			best = w
+		}
+	}
+	return best
+}
+
+// EscapeProbMINT returns the probability that a row escapes mitigation
+// after accumulating damage neighbour-activations under MINT with window w:
+// (1 - 1/W)^damage (Appendix B, mixed-attack analysis).
+func EscapeProbMINT(w int, damage float64) float64 {
+	return math.Pow(1-1/float64(w), damage)
+}
+
+// EscapeProbFM returns Eq 9: the probability that a row targeted through
+// Fractal Mitigation's own refreshes escapes all of them while its
+// neighbours accumulate the given damage: e^(−damage/2.5).
+func EscapeProbFM(damage float64) float64 {
+	return math.Exp(-damage / 2.5)
+}
+
+// FMDamageLimit returns Eq 10's damage bound: the neighbour-activation
+// count at which the FM escape probability reaches pEscape.
+func FMDamageLimit(pEscape float64) float64 {
+	return -2.5 * math.Log(pEscape)
+}
+
+// FMMinimumSafeTRHD returns the TRH-D below which pure-FM attacks become
+// viable at the 10K-year target (the paper derives 52, concluding FM is
+// safe for TRH-D ≥ 53).
+func FMMinimumSafeTRHD() float64 {
+	return FMDamageLimit(1e-18) / 2
+}
+
+// FMRefreshProb returns the probability Fractal Mitigation refreshes the
+// neighbour at distance d on one side in a single mitigation: 1 for d=1,
+// 2^(1−d) for d ≥ 2 (Fig 10a).
+func FMRefreshProb(d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	if d == 1 {
+		return 1
+	}
+	if d > 18 {
+		return 0 // beyond the reach of the 16-bit draw
+	}
+	return math.Pow(2, float64(1-d))
+}
+
+// EmpiricalSelectionProb measures a tracker's per-activation probability of
+// nominating an attacked row, by replaying the paper's best-case circular
+// pattern (w unique rows activated round-robin, one mitigation per window)
+// and counting how often row 0 is selected. This is how the Appendix D
+// thresholds for PrIDE and PARFM are derived: their buffering losses show
+// up directly as a lower selection probability.
+// The probe returns the attacker's best case: the minimum per-window
+// selection probability over the w slot positions (buffered trackers drop
+// late-window samples preferentially, so slots are not equivalent).
+func EmpiricalSelectionProb(mk func(r *rng.Source) tracker.Tracker, w int, windows int, seed uint64) float64 {
+	r := rng.New(seed)
+	tr := mk(r)
+	hits := make([]uint64, w)
+	for i := 0; i < windows; i++ {
+		for slot := 0; slot < w; slot++ {
+			tr.OnActivation(uint32(slot))
+		}
+		if sel := tr.SelectForMitigation(); sel.OK && int(sel.Row) < w {
+			hits[sel.Row]++
+		}
+	}
+	min := hits[0]
+	for _, h := range hits[1:] {
+		if h < min {
+			min = h
+		}
+	}
+	return float64(min) / float64(windows)
+}
+
+// TrackerThreshold converts an empirical selection probability into a
+// tolerated TRH-D using the Appendix A machinery (Fig 18).
+func TrackerThreshold(p float64, w int, tm clk.Timing, mttf float64) float64 {
+	return ThresholdForProb(p, w, tm, mttf) / 2
+}
+
+// TableIIIRow is one row of Table III / Table VI.
+type TableIIIRow struct {
+	Window        int
+	RecursiveTRHD float64 // MINT with recursive mitigation (Table III)
+	FractalTRHD   float64 // MINT with fractal mitigation (Table VI)
+}
+
+// ThresholdTable computes the Table III / Table VI threshold columns for
+// the given windows.
+func ThresholdTable(windows []int, tm clk.Timing, mttf float64) []TableIIIRow {
+	rows := make([]TableIIIRow, 0, len(windows))
+	for _, w := range windows {
+		_, rm := MINTThreshold(w, true, tm, mttf)
+		_, fm := MINTThreshold(w, false, tm, mttf)
+		rows = append(rows, TableIIIRow{Window: w, RecursiveTRHD: rm, FractalTRHD: fm})
+	}
+	return rows
+}
+
+// Storage captures the Section VI-C overhead accounting of AutoRFM.
+type Storage struct {
+	MCBytesPerBank   int // busy bit + 15-bit timestamp = 2 bytes
+	MCBytesTotal     int // × banks (the paper: 128 bytes at 64 banks)
+	DRAMBytesPerBank int // SAUM id (1+8 bits) + MINT tracker (4 bytes) ≈ 5 bytes
+}
+
+// StorageOverheads returns the SRAM the design needs for a system with the
+// given bank count (Section VI-C: 128 bytes at the memory controller and
+// 5 bytes per DRAM bank, plus a PRNG).
+func StorageOverheads(banks int) Storage {
+	const mcPerBank = 2   // 1 busy bit + 15-bit timestamp
+	const dramPerBank = 5 // 9-bit SAUM register + 4-byte MINT state
+	return Storage{
+		MCBytesPerBank:   mcPerBank,
+		MCBytesTotal:     mcPerBank * banks,
+		DRAMBytesPerBank: dramPerBank,
+	}
+}

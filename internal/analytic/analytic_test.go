@@ -1,0 +1,221 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"autorfm/internal/clk"
+	"autorfm/internal/rng"
+	"autorfm/internal/tracker"
+)
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Errorf("%s = %.1f, want %.1f ±%.0f%%", name, got, want, tol*100)
+	}
+}
+
+// TestTableIII reproduces the Table III thresholds (MINT with recursive
+// mitigation): windows 4/8/16/32 → TRH-D 96/182/356/702. The paper's exact
+// numbers depend on unpublished rounding of the epoch time, so we accept a
+// 10% band; the documented values we compute are recorded in
+// EXPERIMENTS.md.
+func TestTableIII(t *testing.T) {
+	tm := clk.DDR5()
+	want := map[int]float64{4: 96, 8: 182, 16: 356, 32: 702}
+	for w, ref := range want {
+		_, trhd := MINTThreshold(w, true, tm, MTTFTarget)
+		within(t, "TRH-D(recursive)", trhd, ref, 0.10)
+	}
+}
+
+// TestTableVI reproduces the Fractal-Mitigation column of Table VI:
+// windows 4/5/6/8 → TRH-D 74/96/117/161.
+func TestTableVI(t *testing.T) {
+	tm := clk.DDR5()
+	want := map[int]float64{4: 74, 5: 96, 6: 117, 8: 161}
+	for w, ref := range want {
+		_, trhd := MINTThreshold(w, false, tm, MTTFTarget)
+		within(t, "TRH-D(fractal)", trhd, ref, 0.10)
+	}
+}
+
+// TestFractalBeatsRecursive: FM tolerates a lower threshold than RM at every
+// window, because it selects over W slots instead of W+1.
+func TestFractalBeatsRecursive(t *testing.T) {
+	tm := clk.DDR5()
+	for w := 2; w <= 64; w *= 2 {
+		_, rm := MINTThreshold(w, true, tm, MTTFTarget)
+		_, fm := MINTThreshold(w, false, tm, MTTFTarget)
+		if fm >= rm {
+			t.Errorf("w=%d: fractal TRH-D %.0f ≥ recursive %.0f", w, fm, rm)
+		}
+	}
+}
+
+func TestMTTFInvertsThreshold(t *testing.T) {
+	tm := clk.DDR5()
+	tSingle, _ := MINTThreshold(8, false, tm, MTTFTarget)
+	got := MTTF(8, false, tm, tSingle)
+	if math.Abs(got-MTTFTarget)/MTTFTarget > 1e-6 {
+		t.Fatalf("MTTF(threshold) = %v, want %v", got, MTTFTarget)
+	}
+}
+
+func TestMTTFMonotone(t *testing.T) {
+	tm := clk.DDR5()
+	// Lower thresholds are attacked faster: MTTF must fall as T falls.
+	if MTTF(4, false, tm, 100) >= MTTF(4, false, tm, 200) {
+		t.Fatal("MTTF not monotone in threshold")
+	}
+}
+
+func TestWindowForThreshold(t *testing.T) {
+	tm := clk.DDR5()
+	// TRH-D 74 requires window 4 with FM; TRH-D 161 allows window 8.
+	if w := WindowForThreshold(75, false, tm, MTTFTarget); w != 4 {
+		t.Errorf("WindowForThreshold(75, fractal) = %d, want 4", w)
+	}
+	if w := WindowForThreshold(165, false, tm, MTTFTarget); w != 8 {
+		t.Errorf("WindowForThreshold(165, fractal) = %d, want 8", w)
+	}
+	// A window of 1 mitigates every activation and tolerates any threshold.
+	if w := WindowForThreshold(1, false, tm, MTTFTarget); w != 1 {
+		t.Errorf("WindowForThreshold(1) = %d, want 1", w)
+	}
+}
+
+// TestFMSecurityAppendixB reproduces Eq 10: at the 1e-18 escape target the
+// damage limit is ≈104, so FM-only attacks need TRH-D < ≈52.
+func TestFMSecurityAppendixB(t *testing.T) {
+	within(t, "FM damage limit", FMDamageLimit(1e-18), 104, 0.02)
+	within(t, "FM minimum safe TRH-D", FMMinimumSafeTRHD(), 52, 0.02)
+}
+
+// TestEscapeCurves reproduces the Fig 16 relationships, including the
+// mixed-attack example: 40 FM activations (≈1e-7) and 80 MINT-4 activations
+// (≈1e-10) multiply to ≈1e-17, worse for the attacker than 120 MINT
+// activations (≈1e-15).
+func TestEscapeCurves(t *testing.T) {
+	fm40 := EscapeProbFM(40)
+	mint80 := EscapeProbMINT(4, 80)
+	mint120 := EscapeProbMINT(4, 120)
+	if fm40 < 1e-8 || fm40 > 1e-6 {
+		t.Errorf("FM escape at damage 40 = %.2g, want ≈1e-7", fm40)
+	}
+	if mint80 < 1e-11 || mint80 > 1e-9 {
+		t.Errorf("MINT-4 escape at 80 = %.2g, want ≈1e-10", mint80)
+	}
+	if mixed := fm40 * mint80; mixed >= mint120 {
+		t.Errorf("mixed attack (%.2g) not worse for attacker than direct (%.2g)",
+			mixed, mint120)
+	}
+}
+
+func TestEscapeProbBoundaries(t *testing.T) {
+	if EscapeProbFM(0) != 1 || EscapeProbMINT(4, 0) != 1 {
+		t.Fatal("zero damage must escape with probability 1")
+	}
+	if EscapeProbFM(1000) > 1e-100 {
+		t.Fatal("FM escape should vanish at large damage")
+	}
+}
+
+func TestFMRefreshProb(t *testing.T) {
+	cases := map[int]float64{1: 1, 2: 0.5, 3: 0.25, 4: 0.125, 18: math.Pow(2, -17)}
+	for d, want := range cases {
+		if got := FMRefreshProb(d); math.Abs(got-want) > 1e-12 {
+			t.Errorf("FMRefreshProb(%d) = %v, want %v", d, got, want)
+		}
+	}
+	if FMRefreshProb(0) != 0 || FMRefreshProb(19) != 0 {
+		t.Error("out-of-range distances must have probability 0")
+	}
+}
+
+// TestEmpiricalSelectionMINT: the Monte-Carlo probe agrees with MINT's
+// analytic selection probability.
+func TestEmpiricalSelectionMINT(t *testing.T) {
+	for _, w := range []int{4, 8} {
+		w := w
+		p := EmpiricalSelectionProb(func(r *rng.Source) tracker.Tracker {
+			return tracker.NewMINT(w, false, r)
+		}, w, 200_000, 1)
+		want := 1 / float64(w)
+		if math.Abs(p-want) > 0.05*want {
+			t.Errorf("w=%d: empirical p = %.4f, want %.4f", w, p, want)
+		}
+	}
+}
+
+// TestPrIDEWorseThanMINT reproduces the Appendix D ordering (Fig 18): the
+// FIFO losses of PrIDE lower its selection probability, so its tolerated
+// threshold is higher than MINT's at the same window. Under the strict
+// one-pop-per-window AutoRFM cadence a 4-entry FIFO rarely overflows, so we
+// expose the loss mechanism with a 1-entry FIFO (where sampling bursts are
+// dropped), and check the 4-entry variant never beats MINT.
+func TestPrIDEWorseThanMINT(t *testing.T) {
+	tm := clk.DDR5()
+	w := 4
+	const windows = 400_000
+	pMINT := EmpiricalSelectionProb(func(r *rng.Source) tracker.Tracker {
+		return tracker.NewMINT(w, false, r)
+	}, w, windows, 2)
+	pPrIDE1 := EmpiricalSelectionProb(func(r *rng.Source) tracker.Tracker {
+		return tracker.NewPrIDE(w, 1, r)
+	}, w, windows, 2)
+	pPrIDE4 := EmpiricalSelectionProb(func(r *rng.Source) tracker.Tracker {
+		return tracker.NewPrIDE(w, 4, r)
+	}, w, windows, 2)
+	if pPrIDE1 >= 0.95*pMINT {
+		t.Fatalf("PrIDE/1 selection %.4f not clearly below MINT %.4f", pPrIDE1, pMINT)
+	}
+	if pPrIDE4 > pMINT*1.02 {
+		t.Fatalf("PrIDE/4 selection %.4f above MINT %.4f", pPrIDE4, pMINT)
+	}
+	mintT := TrackerThreshold(pMINT, w, tm, MTTFTarget)
+	prideLossyT := TrackerThreshold(pPrIDE1, w, tm, MTTFTarget)
+	if prideLossyT <= mintT {
+		t.Fatalf("lossy PrIDE TRH-D %.0f ≤ MINT %.0f", prideLossyT, mintT)
+	}
+	// Paper (Fig 18): with its real 4-entry FIFO, PrIDE still tolerates a
+	// sub-125 threshold at AutoRFMTH-4.
+	prideT := TrackerThreshold(pPrIDE4, w, tm, MTTFTarget)
+	if prideT < mintT*0.98 || prideT > 125 {
+		t.Errorf("PrIDE/4 TRH-D = %.0f (MINT %.0f), want in [MINT, 125)", prideT, mintT)
+	}
+}
+
+func TestThresholdTable(t *testing.T) {
+	rows := ThresholdTable([]int{4, 5, 6, 8}, clk.DDR5(), MTTFTarget)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FractalTRHD >= r.RecursiveTRHD {
+			t.Errorf("w=%d: FM %.0f ≥ RM %.0f", r.Window, r.FractalTRHD, r.RecursiveTRHD)
+		}
+	}
+}
+
+func TestEpochTime(t *testing.T) {
+	tm := clk.DDR5()
+	// Eq 2 at W=4: 16×48ns + 192ns = 960ns.
+	want := 960e-9
+	if got := EpochTime(4, tm); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EpochTime(4) = %v, want %v", got, want)
+	}
+}
+
+// TestStorageOverheads pins the Section VI-C numbers: 128 bytes of MC SRAM
+// for 64 banks and 5 bytes per DRAM bank.
+func TestStorageOverheads(t *testing.T) {
+	s := StorageOverheads(64)
+	if s.MCBytesTotal != 128 {
+		t.Fatalf("MC SRAM = %d bytes, want 128", s.MCBytesTotal)
+	}
+	if s.DRAMBytesPerBank != 5 {
+		t.Fatalf("DRAM SRAM = %d bytes/bank, want 5", s.DRAMBytesPerBank)
+	}
+}

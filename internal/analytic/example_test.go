@@ -1,0 +1,26 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"autorfm/internal/analytic"
+	"autorfm/internal/clk"
+)
+
+// The Table VI headline: MINT with Fractal Mitigation at a window of 4
+// tolerates a double-sided Rowhammer threshold of ≈74 at the 10,000-year
+// MTTF target.
+func ExampleMINTThreshold() {
+	_, trhd := analytic.MINTThreshold(4, false, clk.DDR5(), analytic.MTTFTarget)
+	fmt.Printf("MINT-4 + Fractal Mitigation tolerates TRH-D %.0f\n", trhd)
+	// Output:
+	// MINT-4 + Fractal Mitigation tolerates TRH-D 73
+}
+
+// Appendix B: attacks that weaponise Fractal Mitigation's own refreshes
+// only become viable below TRH-D ≈ 52, under AutoRFM's minimum of 74.
+func ExampleFMMinimumSafeTRHD() {
+	fmt.Printf("FM-only attacks need TRH-D < %.0f\n", analytic.FMMinimumSafeTRHD())
+	// Output:
+	// FM-only attacks need TRH-D < 52
+}

@@ -1,0 +1,279 @@
+// Package cache models the shared last-level cache of the baseline system
+// (Table IV: 8MB, 16-way, 64B lines): set-associative LRU with write-back,
+// write-allocate semantics and MSHR-style merging of misses to the same
+// line. Dirty evictions become posted write requests to the memory
+// controller — these writebacks are real DRAM activations and therefore
+// count toward Rowhammer pressure and RFM accounting, which is why the
+// cache is modelled rather than approximated with a flat miss rate.
+package cache
+
+import (
+	"autorfm/internal/clk"
+	"autorfm/internal/event"
+	"autorfm/internal/memctrl"
+)
+
+// Config sizes the cache.
+type Config struct {
+	SizeBytes  int
+	Ways       int
+	LineBytes  int
+	HitLatency clk.Tick
+	// MissExtra is the fixed on-chip cost a miss pays beyond the DRAM
+	// access itself: interconnect traversal, MC frontend, and fill-to-use
+	// forwarding. It sets the loaded base latency the slowdown figures are
+	// relative to.
+	MissExtra clk.Tick
+	// PrefetchDegree enables a next-line stream prefetcher: when a demand
+	// miss extends a detected ascending stream, the next PrefetchDegree
+	// lines of the same 4KB page are fetched. Stream prefetching is what
+	// makes page-buddy lines arrive at DRAM close together in time — the
+	// mechanism behind the Zen-mapping subarray conflicts of Fig 8.
+	// 0 disables.
+	PrefetchDegree int
+}
+
+// DefaultConfig returns the Table IV LLC: 8MB, 16-way, 64B lines, with a
+// 12ns hit latency typical of a large shared LLC.
+func DefaultConfig() Config {
+	return Config{
+		SizeBytes:      8 << 20,
+		Ways:           16,
+		LineBytes:      64,
+		HitLatency:     clk.NS(12),
+		MissExtra:      clk.NS(35),
+		PrefetchDegree: 40,
+	}
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits, Misses uint64
+	Writebacks   uint64
+	Merged       uint64 // misses merged into an outstanding fill
+	Prefetches   uint64 // prefetch fills issued to DRAM
+}
+
+type way struct {
+	line  uint64 // full line address (tag+set), valid only if used
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+type mshr struct {
+	waiters []func(clk.Tick)
+	dirty   bool // a write was merged while the fill was outstanding
+}
+
+// Cache is a shared, single-ported (contention-free) LLC model.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	mc      *memctrl.Controller
+	q       *event.Queue
+	tick    uint64
+	out     map[uint64]*mshr
+
+	// Stream-detector state: the set of recent demand-miss lines, bounded
+	// by a FIFO. A miss to L with L-1 or L-2 recently missed is treated as
+	// part of an ascending stream.
+	recent     map[uint64]struct{}
+	recentFIFO []uint64
+
+	Stats Stats
+}
+
+// New builds the cache in front of mc.
+func New(cfg Config, mc *memctrl.Controller, q *event.Queue) *Cache {
+	numSets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	if numSets&(numSets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	sets := make([][]way, numSets)
+	backing := make([]way, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(numSets - 1),
+		mc:      mc,
+		q:       q,
+		out:     make(map[uint64]*mshr),
+		recent:  make(map[uint64]struct{}),
+	}
+}
+
+const (
+	linesPerPage = 64 // 4KB page / 64B line
+	recentCap    = 512
+)
+
+// noteMiss records a demand miss for stream detection and reports whether
+// the miss extends an ascending stream.
+func (c *Cache) noteMiss(line uint64) bool {
+	_, a := c.recent[line-1]
+	_, b := c.recent[line-2]
+	c.recent[line] = struct{}{}
+	c.recentFIFO = append(c.recentFIFO, line)
+	if len(c.recentFIFO) > recentCap {
+		old := c.recentFIFO[0]
+		c.recentFIFO = c.recentFIFO[1:]
+		delete(c.recent, old)
+	}
+	return a || b
+}
+
+// prefetch fetches the next-degree lines of line's page that are neither
+// cached nor outstanding. Prefetch fills install clean and wake no one.
+func (c *Cache) prefetch(line uint64) {
+	page := line / linesPerPage
+	for d := 1; d <= c.cfg.PrefetchDegree; d++ {
+		pl := line + uint64(d)
+		if pl/linesPerPage != page {
+			return // stream prefetchers stop at the page boundary
+		}
+		if _, ok := c.out[pl]; ok {
+			continue
+		}
+		if c.lookup(pl) {
+			continue
+		}
+		c.out[pl] = &mshr{}
+		c.Stats.Prefetches++
+		target := pl
+		c.mc.Submit(&memctrl.Request{
+			Line: target,
+			Done: func(now clk.Tick) { c.fill(target, now) },
+		})
+	}
+}
+
+// lookup reports whether line is present, without touching LRU state.
+func (c *Cache) lookup(line uint64) bool {
+	set := c.sets[line&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Warm installs a line without any DRAM traffic, for pre-populating the
+// cache to its steady-state occupancy before measurement (short simulation
+// slices would otherwise see no capacity evictions and no writebacks).
+func (c *Cache) Warm(line uint64, dirty bool) {
+	set := c.sets[line&c.setMask]
+	c.tick++
+	for i := range set {
+		w := &set[i]
+		if !w.valid || w.line == line {
+			*w = way{line: line, valid: true, dirty: dirty, lru: c.tick}
+			return
+		}
+	}
+	// Set full: replace LRU silently.
+	victim := &set[0]
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	*victim = way{line: line, valid: true, dirty: dirty, lru: c.tick}
+}
+
+// Access performs one 64B access at the current simulation time. For loads,
+// done is invoked when the data is available (hit latency or DRAM fill);
+// stores may pass nil (they retire from a store buffer).
+func (c *Cache) Access(line uint64, write bool, done func(clk.Tick)) {
+	set := c.sets[line&c.setMask]
+	c.tick++
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.line == line {
+			c.Stats.Hits++
+			w.lru = c.tick
+			if write {
+				w.dirty = true
+			}
+			if done != nil {
+				c.q.After(c.cfg.HitLatency, done)
+			}
+			return
+		}
+	}
+	c.Stats.Misses++
+
+	// Merge with an outstanding fill for the same line.
+	if m, ok := c.out[line]; ok {
+		c.Stats.Merged++
+		if write {
+			m.dirty = true
+		}
+		if done != nil {
+			m.waiters = append(m.waiters, done)
+		}
+		return
+	}
+
+	m := &mshr{dirty: write}
+	if done != nil {
+		m.waiters = append(m.waiters, done)
+	}
+	c.out[line] = m
+	c.mc.Submit(&memctrl.Request{
+		Line: line,
+		Done: func(now clk.Tick) { c.fill(line, now) },
+	})
+	if c.cfg.PrefetchDegree > 0 && c.noteMiss(line) {
+		c.prefetch(line)
+	}
+}
+
+// fill installs the returned line, evicting LRU (writing back if dirty) and
+// waking all merged waiters.
+func (c *Cache) fill(line uint64, now clk.Tick) {
+	m := c.out[line]
+	delete(c.out, line)
+
+	set := c.sets[line&c.setMask]
+	victim := &set[0]
+	for i := 1; i < len(set); i++ {
+		w := &set[i]
+		if !w.valid {
+			victim = w
+			break
+		}
+		if w.lru < victim.lru {
+			victim = w
+		}
+	}
+	if victim.valid && victim.dirty {
+		c.Stats.Writebacks++
+		c.mc.Submit(&memctrl.Request{Line: victim.line, Write: true})
+	}
+	c.tick++
+	*victim = way{line: line, valid: true, dirty: m.dirty, lru: c.tick}
+
+	for _, w := range m.waiters {
+		if c.cfg.MissExtra > 0 {
+			cb := w
+			c.q.After(c.cfg.MissExtra, cb)
+		} else {
+			w(now)
+		}
+	}
+}
+
+// MissRate returns misses / (hits + misses).
+func (s Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}

@@ -1,0 +1,146 @@
+package cipher
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := New(MaxWidth+1, 0); err == nil {
+		t.Error("width > MaxWidth accepted")
+	}
+	if _, err := New(29, 7); err != nil {
+		t.Errorf("width 29 rejected: %v", err)
+	}
+}
+
+func TestRoundTripSmallWidthExhaustive(t *testing.T) {
+	// Exhaustively verify bijection on every width up to 16 bits.
+	for width := uint(2); width <= 16; width++ {
+		b := MustNew(width, 0xdeadbeef+uint64(width))
+		n := uint64(1) << width
+		seen := make([]bool, n)
+		for v := uint64(0); v < n; v++ {
+			e := b.Encrypt(v)
+			if e >= n {
+				t.Fatalf("width %d: Encrypt(%d) = %d exceeds domain", width, v, e)
+			}
+			if seen[e] {
+				t.Fatalf("width %d: collision at %d", width, e)
+			}
+			seen[e] = true
+			if d := b.Decrypt(e); d != v {
+				t.Fatalf("width %d: Decrypt(Encrypt(%d)) = %d", width, v, d)
+			}
+		}
+	}
+}
+
+// Property: decrypt∘encrypt = id for arbitrary widths and keys.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(key uint64, wSeed uint8, v uint64) bool {
+		width := uint(wSeed)%(MaxWidth-2) + 2
+		b := MustNew(width, key)
+		v &= (1 << width) - 1
+		return b.Decrypt(b.Encrypt(v)) == v
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysDiffer(t *testing.T) {
+	a := MustNew(29, 1)
+	b := MustNew(29, 2)
+	same := 0
+	for v := uint64(0); v < 1000; v++ {
+		if a.Encrypt(v) == b.Encrypt(v) {
+			same++
+		}
+	}
+	if same > 3 {
+		t.Fatalf("different keys agree on %d/1000 inputs", same)
+	}
+}
+
+// TestDiffusion checks avalanche: flipping one input bit should change about
+// half the output bits. This is what breaks the spatial correlation Rubix
+// relies on (Section IV-F).
+func TestDiffusion(t *testing.T) {
+	const width = 29
+	b := MustNew(width, 0x1234)
+	total, samples := 0, 0
+	for v := uint64(0); v < 500; v++ {
+		base := b.Encrypt(v)
+		for bit := uint(0); bit < width; bit++ {
+			diff := base ^ b.Encrypt(v^(1<<bit))
+			total += popcount(diff)
+			samples++
+		}
+	}
+	mean := float64(total) / float64(samples)
+	if math.Abs(mean-width/2.0) > 2.0 {
+		t.Fatalf("avalanche mean = %.2f bits, want ≈%.1f", mean, width/2.0)
+	}
+}
+
+// TestSubarraySpread verifies the property Fig 8(b) depends on: consecutive
+// line addresses (a streaming access pattern) land on subarrays essentially
+// uniformly after encryption.
+func TestSubarraySpread(t *testing.T) {
+	const width = 29
+	b := MustNew(width, 42)
+	const subarrays = 256
+	counts := make([]int, subarrays)
+	const n = 1 << 16
+	for v := uint64(0); v < n; v++ {
+		e := b.Encrypt(v)
+		// Model the row bits as the upper bits and subarray as row>>9,
+		// i.e. some mid/high bits of the encrypted address.
+		sa := (e >> 15) % subarrays
+		counts[sa]++
+	}
+	want := float64(n) / subarrays
+	for sa, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("subarray %d: %d hits, want ≈%.0f", sa, c, want)
+		}
+	}
+}
+
+func TestEncryptPanicsOutOfDomain(t *testing.T) {
+	b := MustNew(8, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encrypt out of domain did not panic")
+		}
+	}()
+	b.Encrypt(256)
+}
+
+func TestOddWidths(t *testing.T) {
+	// Odd widths exercise the unbalanced halves.
+	for _, width := range []uint{3, 5, 7, 29, 33, 47} {
+		b := MustNew(width, 99)
+		mask := uint64(1)<<width - 1
+		for _, v := range []uint64{0, 1, mask, mask / 2, 0x5555555555 & mask} {
+			if got := b.Decrypt(b.Encrypt(v)); got != v {
+				t.Errorf("width %d: round trip of %#x = %#x", width, v, got)
+			}
+		}
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+// Package cpu models the out-of-order cores of the baseline system
+// (Table IV: 8 cores, 4GHz, 4-wide, 256-entry ROB) at the level of detail
+// that matters for memory-system studies: dispatch bandwidth, the ROB
+// window limiting memory-level parallelism, and in-order retirement that
+// blocks on the oldest incomplete load.
+//
+// The model is trace-driven and event-driven. A core consumes a stream of
+// records, each "gap" non-memory instructions followed by one memory
+// access. Non-memory instructions dispatch at 4 per cycle and retire
+// immediately; loads occupy the ROB until their data returns (from the LLC
+// or DRAM); stores drain through a store buffer and never block. The core
+// stalls when the instruction it wants to dispatch is more than ROB-size
+// instructions ahead of the oldest incomplete load — the classic
+// ROB-window MLP limit.
+package cpu
+
+import (
+	"autorfm/internal/clk"
+	"autorfm/internal/event"
+)
+
+// Record is one trace entry: Gap non-memory instructions, then one memory
+// access of the 64B line Line.
+type Record struct {
+	Gap   int
+	Line  uint64
+	Write bool
+	// DependsPrev marks a load whose address depends on the previous load
+	// (pointer chasing): the core cannot issue it until that load's data
+	// returns, serialising the two and destroying memory-level parallelism.
+	// This is the knob that differentiates irregular workloads (mcf, GAP)
+	// from streaming ones.
+	DependsPrev bool
+}
+
+// Stream supplies trace records. Implementations are typically infinite
+// generators (internal/workload); ok=false ends the core's execution early.
+type Stream interface {
+	Next() (Record, bool)
+}
+
+// MemPort is where the core sends memory accesses (the LLC).
+type MemPort interface {
+	Access(line uint64, write bool, done func(clk.Tick))
+}
+
+// Config parameterises a core.
+type Config struct {
+	Width        int   // dispatch width, instructions per cycle
+	ROB          int   // reorder-buffer entries
+	Instructions int64 // retire target; the core stops after this many
+}
+
+// DefaultConfig returns the Table IV core: 4-wide, 256-entry ROB.
+func DefaultConfig(instructions int64) Config {
+	return Config{Width: 4, ROB: 256, Instructions: instructions}
+}
+
+type pendingLoad struct {
+	idx  int64 // instruction index of the load
+	done bool
+}
+
+// Core is one simulated core.
+type Core struct {
+	ID   int
+	cfg  Config
+	strm Stream
+	port MemPort
+	q    *event.Queue
+
+	dispatched int64    // instructions dispatched so far
+	tD         clk.Tick // dispatch-frontier virtual time
+	carry      int      // sub-cycle dispatch remainder
+
+	pending  []*pendingLoad // outstanding loads, oldest first
+	lastLoad *pendingLoad   // most recently dispatched load (dependence target)
+	rec      Record
+	haveRec  bool
+	blocked  bool // waiting for the ROB head to complete
+	running  bool // an advance pass is on the stack (re-entrancy guard)
+
+	// Finished is true once the core has retired its instruction target.
+	Finished bool
+	// FinishTime is the time the last instruction retired.
+	FinishTime clk.Tick
+
+	// Loads/Stores count issued memory operations.
+	Loads, Stores uint64
+}
+
+// horizon bounds how far ahead of simulation time the dispatch frontier may
+// run before the core yields to the event queue (keeps the queue small for
+// compute-heavy phases).
+const horizon = clk.Tick(4000) // 1µs
+
+// New creates a core reading from strm and accessing memory through port.
+func New(id int, cfg Config, strm Stream, port MemPort, q *event.Queue) *Core {
+	return &Core{ID: id, cfg: cfg, strm: strm, port: port, q: q}
+}
+
+// Start begins execution at the current simulation time.
+func (c *Core) Start() {
+	c.q.At(c.q.Now(), func(now clk.Tick) { c.advance(now) })
+}
+
+// Retired returns the number of retired instructions (== dispatched for
+// this model once pending loads complete).
+func (c *Core) Retired() int64 { return c.dispatched }
+
+// retireHead pops completed loads from the front of the ROB.
+func (c *Core) retireHead() {
+	for len(c.pending) > 0 && c.pending[0].done {
+		c.pending = c.pending[1:]
+	}
+}
+
+// advance dispatches as far as the ROB window and the horizon allow.
+func (c *Core) advance(now clk.Tick) {
+	if c.Finished || c.running {
+		return
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	if c.tD < now {
+		c.tD = now
+	}
+	for {
+		c.retireHead()
+		if c.dispatched >= c.cfg.Instructions {
+			if len(c.pending) == 0 {
+				c.Finished = true
+				c.FinishTime = clk.Max(c.tD, now)
+			}
+			// Otherwise wait for the remaining loads to complete.
+			return
+		}
+		if !c.haveRec {
+			rec, ok := c.strm.Next()
+			if !ok {
+				// Stream exhausted: treat as finished at the frontier.
+				if len(c.pending) == 0 {
+					c.Finished = true
+					c.FinishTime = clk.Max(c.tD, now)
+				}
+				return
+			}
+			c.rec, c.haveRec = rec, true
+		}
+		// ROB window: the record's memory access would be instruction
+		// dispatched+gap+1; it must be within ROB of the oldest pending.
+		if len(c.pending) > 0 {
+			memIdx := c.dispatched + int64(c.rec.Gap) + 1
+			if memIdx-c.pending[0].idx >= int64(c.cfg.ROB) {
+				c.blocked = true
+				return // resumed by the head load's completion
+			}
+		}
+		// A dependent load cannot issue until its producer returns.
+		if c.rec.DependsPrev && c.lastLoad != nil && !c.lastLoad.done {
+			c.blocked = true
+			return // resumed by the producer's completion
+		}
+		c.blocked = false
+		// Dispatch the gap and the memory instruction at Width per cycle.
+		n := c.rec.Gap + 1 + c.carry
+		c.tD += clk.Tick(n / c.cfg.Width)
+		c.carry = n % c.cfg.Width
+		c.dispatched += int64(c.rec.Gap)
+
+		// Dispatch the memory access.
+		c.dispatched++
+		c.haveRec = false
+		line, write := c.rec.Line, c.rec.Write
+		issueAt := clk.Max(c.tD, now)
+		if write {
+			c.Stores++
+			c.q.At(issueAt, func(clk.Tick) { c.port.Access(line, true, nil) })
+		} else {
+			c.Loads++
+			p := &pendingLoad{idx: c.dispatched}
+			c.pending = append(c.pending, p)
+			c.lastLoad = p
+			c.q.At(issueAt, func(clk.Tick) {
+				c.port.Access(line, false, func(done clk.Tick) { c.complete(p, done) })
+			})
+		}
+		// Yield if the frontier has run far ahead; the queue will deliver
+		// completions and we resume from them, or from this timer.
+		if c.tD > now+horizon {
+			c.q.At(c.tD, func(t clk.Tick) { c.advance(t) })
+			return
+		}
+	}
+}
+
+// complete marks a load done and resumes the core if the ROB head cleared,
+// a dependent load was waiting on this producer, or the core was done
+// dispatching and waiting on stragglers.
+func (c *Core) complete(p *pendingLoad, now clk.Tick) {
+	p.done = true
+	switch {
+	case len(c.pending) > 0 && c.pending[0] == p:
+		c.advance(now)
+	case c.lastLoad == p && c.blocked:
+		c.advance(now)
+	case c.dispatched >= c.cfg.Instructions:
+		c.advance(now)
+	}
+}
+
+// IPC returns retired instructions per core cycle (ticks are cycles).
+func (c *Core) IPC() float64 {
+	if c.FinishTime == 0 {
+		return 0
+	}
+	return float64(c.dispatched) / float64(c.FinishTime)
+}

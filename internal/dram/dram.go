@@ -1,0 +1,357 @@
+// Package dram models the DRAM device side of the memory system: banks made
+// of subarrays, the in-DRAM Rowhammer tracker and mitigation engine, the
+// Subarray-Under-Mitigation (SAUM) state machine of AutoRFM with its ALERT
+// signalling (Section IV), per-row PRAC activation counters with ABO
+// alerting (Section VII-A), and an optional per-row activation ledger used
+// by the security-audit harness.
+//
+// The device is passive with respect to timing: the memory controller
+// (internal/memctrl) owns the clock and the command schedule and tells each
+// bank when commands happen. The bank model answers the questions only the
+// device can answer — "does this ACT conflict with a mitigation?", "which
+// row does the tracker nominate?", "did a PRAC counter overflow?" — and
+// keeps the device-side statistics.
+package dram
+
+import (
+	"fmt"
+
+	"autorfm/internal/clk"
+	"autorfm/internal/mapping"
+	"autorfm/internal/mitigation"
+	"autorfm/internal/rng"
+	"autorfm/internal/tracker"
+)
+
+// Mode selects how the device obtains time for Rowhammer mitigation.
+type Mode int
+
+const (
+	// ModeNone performs no Rowhammer mitigation (the performance baseline).
+	ModeNone Mode = iota
+	// ModeRFM is the DDR5 blocking Refresh-Management scheme: the memory
+	// controller counts activations (RAA) and issues explicit RFM commands
+	// that stall the whole bank for tRFM (Section II-E).
+	ModeRFM
+	// ModeAutoRFM is the paper's transparent scheme: the device mitigates on
+	// its own at every AutoRFMTH activations, keeping only one subarray busy
+	// and ALERTing conflicting activations (Section IV).
+	ModeAutoRFM
+	// ModePRAC models per-row activation counting with Alert Back-Off
+	// (PRAC+ABO, implemented in the style of MOAT; Section VII-A).
+	ModePRAC
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeRFM:
+		return "rfm"
+	case ModeAutoRFM:
+		return "autorfm"
+	case ModePRAC:
+		return "prac"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config describes the device-side configuration shared by all banks.
+type Config struct {
+	Geo    mapping.Geometry
+	Timing clk.Timing
+	Mode   Mode
+	// TH is the mitigation interval in activations: RFMTH for ModeRFM,
+	// AutoRFMTH for ModeAutoRFM. It sets the tracker window.
+	TH int
+	// NewTracker builds the per-bank tracker. Defaults to MINT with window
+	// TH; recursive slot reservation follows the policy's Recursive().
+	NewTracker func(bank int, r *rng.Source) tracker.Tracker
+	// NewPolicy builds the per-bank victim-refresh policy. Defaults to
+	// Fractal Mitigation.
+	NewPolicy func(bank int, r *rng.Source) mitigation.Policy
+	// PRACETh is the per-row counter value at which a PRAC device raises
+	// ABO. Required for ModePRAC.
+	PRACETh int
+	// Audit enables the per-row activation ledger on every bank (used by
+	// the security harness; costs time and memory, off for perf runs).
+	Audit bool
+	// AuditThreshold is the single-sided activation count at which the
+	// ledger records a Rowhammer failure (TRH-S = 2 × TRH-D).
+	AuditThreshold uint32
+	// Seed seeds all device-side PRNGs.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.TH == 0 {
+		c.TH = 4
+	}
+	if c.NewPolicy == nil {
+		c.NewPolicy = func(bank int, r *rng.Source) mitigation.Policy {
+			return mitigation.NewFractal(r)
+		}
+	}
+	if c.NewTracker == nil {
+		th := c.TH
+		c.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
+			// The recursive flag must match the policy; resolved in NewDevice.
+			return tracker.NewMINT(th, false, r)
+		}
+	}
+}
+
+// BankStats counts device-side events in one bank.
+type BankStats struct {
+	Acts            uint64 // successful demand activations
+	Alerts          uint64 // ACTs declined because they hit the SAUM
+	Mitigations     uint64 // mitigations performed (any mode)
+	TransitiveMits  uint64 // mitigations at level > 1 (recursive chains)
+	VictimRefreshes uint64 // victim-row refreshes issued
+	ABOAlerts       uint64 // PRAC counter overflows signalled
+	SAUMBusy        clk.Tick
+}
+
+// ActResult reports the device-side outcome of an activation attempt.
+type ActResult struct {
+	// Alert is true when the ACT conflicted with the subarray under
+	// mitigation: the ACT failed and must be retried after the mitigation
+	// time (the MC marks the bank busy, Fig 7).
+	Alert bool
+	// ABO is true when a PRAC per-row counter reached ETH on this ACT; the
+	// MC must grant mitigation time (back-off).
+	ABO bool
+	// WindowClosed is true when this ACT completed an AutoRFM window: the
+	// mitigation will start at this ACT's precharge, which the MC signals
+	// via StartPendingMitigation.
+	WindowClosed bool
+}
+
+// Bank models one DRAM bank.
+type Bank struct {
+	ID  int
+	cfg *Config
+
+	trk    tracker.Tracker
+	policy mitigation.Policy
+	r      *rng.Source
+
+	// AutoRFM window state.
+	actsInWindow int
+	pendingMit   bool
+
+	// SAUM state: the subarray under mitigation and until when.
+	saum      int
+	saumUntil clk.Tick
+
+	// PRAC per-row counters (sparse).
+	pracCounts map[uint32]uint32
+	aboRow     uint32
+	aboPending bool
+
+	Stats  BankStats
+	Ledger *Ledger
+}
+
+// Device is the full DRAM channel: all banks plus shared configuration.
+type Device struct {
+	Cfg   Config
+	Banks []*Bank
+}
+
+// NewDevice builds the device: one tracker, policy and PRNG per bank.
+func NewDevice(cfg Config) *Device {
+	cfg.fillDefaults()
+	d := &Device{Cfg: cfg}
+	d.Banks = make([]*Bank, cfg.Geo.Banks)
+	for i := range d.Banks {
+		r := rng.New(cfg.Seed ^ (0xb1a5ed<<16 + uint64(i)*0x9e37))
+		pol := cfg.NewPolicy(i, r)
+		trk := cfg.NewTracker(i, r)
+		// If the policy is recursive and the default MINT tracker is in
+		// use, it must reserve the transitive slot (W+1 selection).
+		if m, ok := trk.(*tracker.MINT); ok && pol.Recursive() && m.Window() == cfg.TH {
+			trk = tracker.NewMINT(cfg.TH, true, r)
+		}
+		b := &Bank{
+			ID:     i,
+			cfg:    &d.Cfg,
+			trk:    trk,
+			policy: pol,
+			r:      r,
+			saum:   -1,
+		}
+		if cfg.Mode == ModePRAC {
+			b.pracCounts = make(map[uint32]uint32)
+		}
+		if cfg.Audit {
+			b.Ledger = NewLedger(cfg.Geo.RowsPerBank, cfg.AuditThreshold)
+		}
+		d.Banks[i] = b
+	}
+	return d
+}
+
+// Tracker exposes the bank's tracker (used by attack harnesses).
+func (b *Bank) Tracker() tracker.Tracker { return b.trk }
+
+// Policy exposes the bank's mitigation policy.
+func (b *Bank) Policy() mitigation.Policy { return b.policy }
+
+// SAUMActive reports whether a subarray is under mitigation at time now.
+func (b *Bank) SAUMActive(now clk.Tick) bool {
+	return b.saum >= 0 && now < b.saumUntil
+}
+
+// SAUM returns the subarray under mitigation (-1 if none) and its busy-until
+// time.
+func (b *Bank) SAUM() (int, clk.Tick) { return b.saum, b.saumUntil }
+
+// Activate attempts a demand activation of row at time now.
+func (b *Bank) Activate(now clk.Tick, row uint32) ActResult {
+	var res ActResult
+	if b.cfg.Mode == ModeAutoRFM && b.SAUMActive(now) &&
+		b.cfg.Geo.Subarray(row) == b.saum {
+		// Conflict with the subarray under mitigation: the DRAM chip skips
+		// the ACT and asserts ALERT (Section IV-A).
+		b.Stats.Alerts++
+		res.Alert = true
+		return res
+	}
+	b.Stats.Acts++
+	if b.Ledger != nil {
+		b.Ledger.RecordAct(row)
+	}
+	switch b.cfg.Mode {
+	case ModeRFM, ModeAutoRFM:
+		b.trk.OnActivation(row)
+	case ModePRAC:
+		b.pracCounts[row]++
+		if int(b.pracCounts[row]) >= b.cfg.PRACETh && !b.aboPending {
+			b.aboRow, b.aboPending = row, true
+			b.Stats.ABOAlerts++
+			res.ABO = true
+		}
+	}
+	if b.cfg.Mode == ModeAutoRFM {
+		b.actsInWindow++
+		if b.actsInWindow >= b.cfg.TH {
+			b.actsInWindow = 0
+			b.pendingMit = true
+			res.WindowClosed = true
+		}
+	}
+	return res
+}
+
+// StartPendingMitigation is called by the MC at the precharge that closes an
+// AutoRFM window. The bank asks its tracker for the aggressor, performs the
+// victim refreshes, and marks that row's subarray as the SAUM for the
+// mitigation time (NumRefreshes × tRC ≈ 200ns).
+func (b *Bank) StartPendingMitigation(prechargeTime clk.Tick) {
+	if !b.pendingMit {
+		return
+	}
+	b.pendingMit = false
+	sel := b.trk.SelectForMitigation()
+	if !sel.OK {
+		return
+	}
+	b.mitigate(sel)
+	b.saum = b.cfg.Geo.Subarray(sel.Row)
+	dur := b.cfg.Timing.MitigationTime(b.policy.NumRefreshes())
+	b.saumUntil = prechargeTime + dur
+	b.Stats.SAUMBusy += dur
+}
+
+// ExecuteRFM performs one mitigation under an explicit RFM command
+// (ModeRFM); the MC has already stalled the bank for tRFM.
+func (b *Bank) ExecuteRFM() {
+	sel := b.trk.SelectForMitigation()
+	if sel.OK {
+		b.mitigate(sel)
+	}
+}
+
+// ExecuteREF models one REF command: the periodic refresh of one row group,
+// plus — in RFM mode — a borrowed-time mitigation (REF reduces RAA by RFMTH
+// because the device mitigates during tRFC; Section II-E).
+func (b *Bank) ExecuteREF(refIndex uint64) {
+	if b.Ledger != nil {
+		b.Ledger.RecordPeriodicRefresh(refIndex)
+	}
+	if ra, ok := b.trk.(tracker.REFAware); ok {
+		ra.OnREF()
+	}
+	if b.cfg.Mode == ModeRFM {
+		sel := b.trk.SelectForMitigation()
+		if sel.OK {
+			b.mitigate(sel)
+		}
+	}
+}
+
+// ExecutePRACBackoff performs the mitigation the device requested via ABO:
+// the row whose counter crossed ETH has its neighbourhood refreshed and its
+// counter reset. The MC has already stalled for the back-off time.
+func (b *Bank) ExecutePRACBackoff() {
+	if !b.aboPending {
+		return
+	}
+	b.aboPending = false
+	row := b.aboRow
+	b.pracCounts[row] = 0
+	b.mitigate(tracker.Selection{Row: row, Level: 1, OK: true})
+}
+
+// mitigate issues the policy's victim refreshes for sel and records them.
+func (b *Bank) mitigate(sel tracker.Selection) {
+	b.Stats.Mitigations++
+	if sel.Level > 1 {
+		b.Stats.TransitiveMits++
+	}
+	victims := b.policy.Victims(sel, b.cfg.Geo.RowsPerBank)
+	b.Stats.VictimRefreshes += uint64(len(victims))
+	if b.Ledger != nil {
+		for _, v := range victims {
+			b.Ledger.RecordVictimRefresh(v)
+		}
+	}
+	// Victim refreshes replenish PRAC rows too.
+	if b.pracCounts != nil {
+		for _, v := range victims {
+			delete(b.pracCounts, v)
+		}
+	}
+}
+
+// TotalStats sums the per-bank statistics.
+func (d *Device) TotalStats() BankStats {
+	var t BankStats
+	for _, b := range d.Banks {
+		t.Acts += b.Stats.Acts
+		t.Alerts += b.Stats.Alerts
+		t.Mitigations += b.Stats.Mitigations
+		t.TransitiveMits += b.Stats.TransitiveMits
+		t.VictimRefreshes += b.Stats.VictimRefreshes
+		t.ABOAlerts += b.Stats.ABOAlerts
+		t.SAUMBusy += b.Stats.SAUMBusy
+	}
+	return t
+}
+
+// MaxDamage returns the worst per-row damage observed by any bank's ledger,
+// and the total number of audit failures. It panics if auditing is off.
+func (d *Device) MaxDamage() (max uint32, failures uint64) {
+	for _, b := range d.Banks {
+		if b.Ledger == nil {
+			panic("dram: MaxDamage without Audit enabled")
+		}
+		if b.Ledger.MaxDamage > max {
+			max = b.Ledger.MaxDamage
+		}
+		failures += b.Ledger.Failures
+	}
+	return max, failures
+}

@@ -1,0 +1,305 @@
+package dram
+
+import (
+	"testing"
+
+	"autorfm/internal/clk"
+	"autorfm/internal/mapping"
+	"autorfm/internal/mitigation"
+	"autorfm/internal/rng"
+	"autorfm/internal/tracker"
+)
+
+func autoCfg(th int) Config {
+	return Config{
+		Geo:    mapping.Default(),
+		Timing: clk.DDR5(),
+		Mode:   ModeAutoRFM,
+		TH:     th,
+		Seed:   1,
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{ModeNone: "none", ModeRFM: "rfm", ModeAutoRFM: "autorfm", ModePRAC: "prac"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestAutoRFMWindowCloses(t *testing.T) {
+	d := NewDevice(autoCfg(4))
+	b := d.Banks[0]
+	now := clk.Tick(0)
+	closes := 0
+	for i := 0; i < 40; i++ {
+		res := b.Activate(now, uint32(i*1000))
+		if res.Alert {
+			t.Fatalf("unexpected alert on act %d (no SAUM active)", i)
+		}
+		if res.WindowClosed {
+			closes++
+			b.StartPendingMitigation(now + clk.DDR5().TRAS)
+			// Advance past the mitigation so the next window's ACTs
+			// (same subarray in this synthetic stream) don't conflict.
+			now += clk.DDR5().MitigationTime(4)
+		}
+		now += clk.DDR5().TRC
+	}
+	if closes != 10 {
+		t.Fatalf("window closed %d times over 40 ACTs at TH=4, want 10", closes)
+	}
+	if b.Stats.Mitigations != 10 {
+		t.Fatalf("Mitigations = %d, want 10", b.Stats.Mitigations)
+	}
+	if b.Stats.VictimRefreshes != 40 {
+		t.Fatalf("VictimRefreshes = %d, want 40 (4 per mitigation)", b.Stats.VictimRefreshes)
+	}
+}
+
+func TestSAUMConflictAlerts(t *testing.T) {
+	d := NewDevice(autoCfg(4))
+	b := d.Banks[0]
+	g := d.Cfg.Geo
+	tm := clk.DDR5()
+	// Close one window with rows all in subarray 0 so the SAUM is known.
+	now := clk.Tick(0)
+	for i := 0; i < 4; i++ {
+		b.Activate(now, uint32(i)) // rows 0..3 → subarray 0
+		now += tm.TRC
+	}
+	pt := now + tm.TRAS
+	b.StartPendingMitigation(pt)
+	sa, until := b.SAUM()
+	if sa != 0 {
+		t.Fatalf("SAUM = %d, want 0", sa)
+	}
+	if want := pt + tm.MitigationTime(4); until != want {
+		t.Fatalf("SAUM until %v, want %v", until, want)
+	}
+	// An ACT to subarray 0 during the mitigation must ALERT and not count.
+	actsBefore := b.Stats.Acts
+	res := b.Activate(pt+clk.NS(10), 100) // row 100 → subarray 0
+	if !res.Alert {
+		t.Fatal("conflicting ACT not alerted")
+	}
+	if b.Stats.Acts != actsBefore {
+		t.Fatal("failed ACT was counted as successful")
+	}
+	if b.Stats.Alerts != 1 {
+		t.Fatalf("Alerts = %d, want 1", b.Stats.Alerts)
+	}
+	// An ACT to another subarray proceeds normally.
+	if res := b.Activate(pt+clk.NS(20), uint32(g.SubarrayRows+5)); res.Alert {
+		t.Fatal("non-conflicting ACT alerted")
+	}
+	// After the mitigation time the subarray is free again (the paper's
+	// guaranteed-retry property).
+	if res := b.Activate(until, 100); res.Alert {
+		t.Fatal("retry after mitigation time alerted — DoS guarantee violated")
+	}
+}
+
+func TestSAUMTracksAggressorSubarray(t *testing.T) {
+	d := NewDevice(autoCfg(4))
+	b := d.Banks[0]
+	tm := clk.DDR5()
+	now := clk.Tick(0)
+	// All four window ACTs in subarray 7.
+	base := uint32(7 * d.Cfg.Geo.SubarrayRows)
+	for i := 0; i < 4; i++ {
+		b.Activate(now, base+uint32(i))
+		now += tm.TRC
+	}
+	b.StartPendingMitigation(now)
+	if sa, _ := b.SAUM(); sa != 7 {
+		t.Fatalf("SAUM = %d, want 7", sa)
+	}
+}
+
+func TestRFMModeNoSAUM(t *testing.T) {
+	cfg := autoCfg(4)
+	cfg.Mode = ModeRFM
+	d := NewDevice(cfg)
+	b := d.Banks[0]
+	for i := 0; i < 4; i++ {
+		res := b.Activate(clk.Tick(i)*clk.DDR5().TRC, uint32(i))
+		if res.WindowClosed || res.Alert {
+			t.Fatal("RFM mode must not close AutoRFM windows or alert")
+		}
+	}
+	b.ExecuteRFM()
+	if b.Stats.Mitigations != 1 {
+		t.Fatalf("Mitigations = %d after RFM, want 1", b.Stats.Mitigations)
+	}
+	if b.SAUMActive(clk.NS(1)) {
+		t.Fatal("RFM mode set a SAUM")
+	}
+}
+
+func TestREFMitigatesInRFMMode(t *testing.T) {
+	cfg := autoCfg(8)
+	cfg.Mode = ModeRFM
+	d := NewDevice(cfg)
+	b := d.Banks[0]
+	for i := 0; i < 8; i++ {
+		b.Activate(0, uint32(i))
+	}
+	b.ExecuteREF(0)
+	if b.Stats.Mitigations != 1 {
+		t.Fatalf("REF did not mitigate in RFM mode: %d", b.Stats.Mitigations)
+	}
+
+	// In AutoRFM mode REF performs no tracker mitigation.
+	d2 := NewDevice(autoCfg(8))
+	b2 := d2.Banks[0]
+	for i := 0; i < 4; i++ {
+		b2.Activate(0, uint32(i))
+	}
+	b2.ExecuteREF(0)
+	if b2.Stats.Mitigations != 0 {
+		t.Fatal("REF mitigated in AutoRFM mode")
+	}
+}
+
+func TestPRACCountersAndABO(t *testing.T) {
+	cfg := autoCfg(0)
+	cfg.Mode = ModePRAC
+	cfg.PRACETh = 10
+	d := NewDevice(cfg)
+	b := d.Banks[0]
+	var abo bool
+	for i := 0; i < 10; i++ {
+		res := b.Activate(clk.Tick(i), 500)
+		abo = abo || res.ABO
+	}
+	if !abo {
+		t.Fatal("no ABO after ETH activations of one row")
+	}
+	if b.Stats.ABOAlerts != 1 {
+		t.Fatalf("ABOAlerts = %d, want 1", b.Stats.ABOAlerts)
+	}
+	b.ExecutePRACBackoff()
+	if b.Stats.Mitigations != 1 {
+		t.Fatal("back-off did not mitigate")
+	}
+	if b.pracCounts[500] != 0 {
+		t.Fatal("counter not reset by back-off")
+	}
+	// Counter restarts; next ETH activations raise ABO again.
+	abo = false
+	for i := 0; i < 10; i++ {
+		res := b.Activate(clk.Tick(100+i), 500)
+		abo = abo || res.ABO
+	}
+	if !abo {
+		t.Fatal("no second ABO after counter reset")
+	}
+}
+
+func TestRecursivePolicyGetsReservedSlotTracker(t *testing.T) {
+	cfg := autoCfg(4)
+	cfg.NewPolicy = func(bank int, r *rng.Source) mitigation.Policy {
+		return mitigation.NewRecursive()
+	}
+	d := NewDevice(cfg)
+	b := d.Banks[0]
+	m, ok := b.Tracker().(*tracker.MINT)
+	if !ok {
+		t.Fatal("default tracker is not MINT")
+	}
+	if m.Name() != "mint-4+rm" {
+		t.Fatalf("tracker = %s, want mint-4+rm (reserved transitive slot)", m.Name())
+	}
+}
+
+func TestDefaultFractalNeverTransitiveMitigations(t *testing.T) {
+	d := NewDevice(autoCfg(4))
+	b := d.Banks[0]
+	tm := clk.DDR5()
+	now := clk.Tick(0)
+	for i := 0; i < 4000; i++ {
+		res := b.Activate(now, uint32(i%8))
+		now += tm.TRC
+		if res.WindowClosed {
+			b.StartPendingMitigation(now)
+			now += tm.MitigationTime(4)
+		}
+	}
+	if b.Stats.TransitiveMits != 0 {
+		t.Fatalf("fractal produced %d transitive mitigations", b.Stats.TransitiveMits)
+	}
+	if b.Stats.Mitigations != 1000 {
+		t.Fatalf("Mitigations = %d, want 1000", b.Stats.Mitigations)
+	}
+}
+
+// TestSAUMBusyBounded verifies the deterministic-latency property: with
+// Fractal Mitigation the SAUM busy period is exactly NumRefreshes × tRC.
+func TestSAUMBusyBounded(t *testing.T) {
+	d := NewDevice(autoCfg(4))
+	b := d.Banks[0]
+	tm := clk.DDR5()
+	now := clk.Tick(0)
+	for i := 0; i < 400; i++ {
+		res := b.Activate(now, uint32(i))
+		now += tm.TRC
+		if res.WindowClosed {
+			b.StartPendingMitigation(now)
+			_, until := b.SAUM()
+			if until-now != tm.MitigationTime(4) {
+				t.Fatalf("SAUM busy %v, want %v", until-now, tm.MitigationTime(4))
+			}
+			now += tm.MitigationTime(4) // let the mitigation drain
+		}
+	}
+	wantBusy := clk.Tick(100) * tm.MitigationTime(4)
+	if b.Stats.SAUMBusy != wantBusy {
+		t.Fatalf("total SAUM busy %v, want %v", b.Stats.SAUMBusy, wantBusy)
+	}
+}
+
+func TestTotalStats(t *testing.T) {
+	d := NewDevice(autoCfg(4))
+	d.Banks[0].Activate(0, 1)
+	d.Banks[1].Activate(0, 2)
+	d.Banks[63].Activate(0, 3)
+	if got := d.TotalStats().Acts; got != 3 {
+		t.Fatalf("TotalStats.Acts = %d, want 3", got)
+	}
+}
+
+func TestMaxDamagePanicsWithoutAudit(t *testing.T) {
+	d := NewDevice(autoCfg(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxDamage without audit did not panic")
+		}
+	}()
+	d.MaxDamage()
+}
+
+// TestREFAwareTrackerReceivesOnREF: REF-aware trackers (TWiCe) are aged by
+// every REF command the bank executes.
+func TestREFAwareTrackerReceivesOnREF(t *testing.T) {
+	cfg := autoCfg(4)
+	cfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
+		return tracker.NewTWiCe(1000)
+	}
+	d := NewDevice(cfg)
+	b := d.Banks[0]
+	tw := b.Tracker().(*tracker.TWiCe)
+	// Insert a slow row, then run REFs: pruning must evict it.
+	b.Activate(0, 77)
+	if tw.TableSize() != 1 {
+		t.Fatalf("TableSize = %d", tw.TableSize())
+	}
+	for i := uint64(1); i <= 100; i++ {
+		b.ExecuteREF(i)
+	}
+	if tw.TableSize() != 0 {
+		t.Fatalf("slow row not pruned after 100 REFs (size %d)", tw.TableSize())
+	}
+}

@@ -1,0 +1,106 @@
+package dram
+
+// Ledger is the per-bank security-audit bookkeeper. It tracks, for every
+// row, how many activations its immediate neighbours have received since the
+// row was last refreshed ("damage"). This is the quantity the threat model
+// of Section II-A is defined over: an attack succeeds when any row
+// accumulates more than the Rowhammer threshold of neighbour activations
+// without an intervening refresh of that row.
+//
+// Crucially, a victim refresh of row r is itself an internal activation of
+// r, so it adds damage to r's own neighbours — this is exactly the
+// transitive / Half-Double vector of Section V-A, and modelling it is what
+// lets the attack harness exercise transitive attacks against the
+// mitigation policies.
+//
+// Damage accounting is single-sided: a row hammered from both sides at a
+// double-sided threshold TRH-D accumulates 2×TRH-D damage, so callers set
+// the failure threshold to 2×TRH-D (TRH-S ≈ 2×TRH-D, Appendix A).
+type Ledger struct {
+	damage      map[uint32]uint32
+	rowsPerBank int
+	threshold   uint32 // 0 disables failure recording
+
+	// MaxDamage is the highest damage any row ever reached.
+	MaxDamage uint32
+	// Failures counts rows crossing the threshold (each row counted once
+	// per crossing; the row's damage is reset so sustained attacks keep
+	// counting).
+	Failures uint64
+	// LastFailRow records the most recent row that crossed the threshold,
+	// for attack-harness diagnostics.
+	LastFailRow uint32
+	// RefGroups is the number of REF commands that cover the whole bank
+	// (8192 per tREFW in DDR5).
+	RefGroups uint64
+}
+
+// NewLedger returns a ledger for a bank with rowsPerBank rows that records a
+// failure whenever a row's damage reaches threshold (0 = never).
+func NewLedger(rowsPerBank int, threshold uint32) *Ledger {
+	return &Ledger{
+		damage:      make(map[uint32]uint32),
+		rowsPerBank: rowsPerBank,
+		threshold:   threshold,
+		RefGroups:   8192,
+	}
+}
+
+// Damage returns the current damage of row.
+func (l *Ledger) Damage(row uint32) uint32 { return l.damage[row] }
+
+// bump adds one unit of damage to row, tracking maxima and failures.
+func (l *Ledger) bump(row uint32) {
+	d := l.damage[row] + 1
+	if l.threshold != 0 && d >= l.threshold {
+		l.Failures++
+		l.LastFailRow = row
+		d = 0 // the bit has flipped; restart the epoch for this row
+	}
+	l.damage[row] = d
+	if d > l.MaxDamage {
+		l.MaxDamage = d
+	}
+}
+
+// RecordAct records a demand activation of row: both neighbours take one
+// unit of damage, and the activated row's own charge is restored (an
+// activation senses and rewrites the row, so it cannot itself be a
+// Rowhammer victim while it is being hammered).
+func (l *Ledger) RecordAct(row uint32) {
+	delete(l.damage, row)
+	if row > 0 {
+		l.bump(row - 1)
+	}
+	if int(row)+1 < l.rowsPerBank {
+		l.bump(row + 1)
+	}
+}
+
+// RecordVictimRefresh records a mitigative refresh of row: the row's own
+// damage resets (its charge is replenished), and — because the refresh
+// activates the row internally — its neighbours take one unit of damage.
+func (l *Ledger) RecordVictimRefresh(row uint32) {
+	delete(l.damage, row)
+	l.RecordAct(row)
+}
+
+// RecordPeriodicRefresh models one REF command: rows whose index is
+// congruent to refIndex modulo RefGroups are refreshed, resetting their
+// damage. The sparse map is scanned, which is cheap because only rows that
+// have taken damage are present.
+func (l *Ledger) RecordPeriodicRefresh(refIndex uint64) {
+	group := uint32(refIndex % l.RefGroups)
+	for row := range l.damage {
+		if row%uint32(l.RefGroups) == group {
+			delete(l.damage, row)
+		}
+	}
+}
+
+// Reset clears all damage and counters.
+func (l *Ledger) Reset() {
+	l.damage = make(map[uint32]uint32)
+	l.MaxDamage = 0
+	l.Failures = 0
+}

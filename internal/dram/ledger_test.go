@@ -1,0 +1,99 @@
+package dram
+
+import "testing"
+
+func TestLedgerDamageAccumulates(t *testing.T) {
+	l := NewLedger(1024, 0)
+	for i := 0; i < 5; i++ {
+		l.RecordAct(100)
+	}
+	if l.Damage(99) != 5 || l.Damage(101) != 5 {
+		t.Fatalf("neighbour damage = %d/%d, want 5/5", l.Damage(99), l.Damage(101))
+	}
+	if l.Damage(100) != 0 {
+		t.Fatal("aggressor row itself took damage")
+	}
+	if l.MaxDamage != 5 {
+		t.Fatalf("MaxDamage = %d", l.MaxDamage)
+	}
+}
+
+func TestLedgerEdgeRows(t *testing.T) {
+	l := NewLedger(16, 0)
+	l.RecordAct(0)  // only row 1 is a neighbour
+	l.RecordAct(15) // only row 14 is a neighbour
+	if l.Damage(1) != 1 || l.Damage(14) != 1 {
+		t.Fatal("edge neighbours not damaged")
+	}
+}
+
+func TestVictimRefreshResetsAndDisturbs(t *testing.T) {
+	l := NewLedger(1024, 0)
+	for i := 0; i < 10; i++ {
+		l.RecordAct(100) // damages 99 and 101
+	}
+	l.RecordVictimRefresh(101)
+	if l.Damage(101) != 0 {
+		t.Fatal("victim refresh did not reset the row's damage")
+	}
+	// The refresh internally activates row 101, disturbing 100 and 102 —
+	// the Half-Double vector.
+	if l.Damage(102) != 1 {
+		t.Fatalf("damage(102) = %d, want 1 (transitive disturbance)", l.Damage(102))
+	}
+	if l.Damage(100) != 1 {
+		t.Fatalf("damage(100) = %d, want 1", l.Damage(100))
+	}
+}
+
+func TestLedgerFailureThreshold(t *testing.T) {
+	l := NewLedger(1024, 8)
+	for i := 0; i < 8; i++ {
+		l.RecordAct(50)
+	}
+	// Both neighbours (49 and 51) cross the threshold on the 8th ACT.
+	if l.Failures != 2 {
+		t.Fatalf("Failures = %d, want 2 at threshold", l.Failures)
+	}
+	// Damage resets after a failure so sustained attacks keep counting.
+	if l.Damage(49) != 0 {
+		t.Fatal("damage not reset after failure")
+	}
+	for i := 0; i < 16; i++ {
+		l.RecordAct(50)
+	}
+	if l.Failures != 6 {
+		t.Fatalf("Failures = %d, want 6", l.Failures)
+	}
+}
+
+func TestPeriodicRefreshClearsGroup(t *testing.T) {
+	l := NewLedger(1<<17, 0)
+	// Row 8193 is in REF group 1 (8193 % 8192 == 1).
+	l.RecordAct(8192) // damages 8191 and 8193
+	l.RecordPeriodicRefresh(1)
+	if l.Damage(8193) != 0 {
+		t.Fatal("group-1 row not cleared by REF index 1")
+	}
+	if l.Damage(8191) == 0 {
+		t.Fatal("row outside the group was cleared")
+	}
+	// A full sweep of 8192 REFs clears everything.
+	for i := uint64(0); i < 8192; i++ {
+		l.RecordPeriodicRefresh(i)
+	}
+	if l.Damage(8191) != 0 {
+		t.Fatal("full REF sweep left damage behind")
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	l := NewLedger(64, 4)
+	for i := 0; i < 10; i++ {
+		l.RecordAct(10)
+	}
+	l.Reset()
+	if l.MaxDamage != 0 || l.Failures != 0 || l.Damage(9) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}

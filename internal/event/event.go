@@ -1,0 +1,106 @@
+// Package event provides the discrete-event engine that drives the
+// memory-system simulation. Components schedule callbacks at absolute
+// simulation times; the queue dispatches them in time order with a stable
+// FIFO tie-break so runs are deterministic.
+package event
+
+import (
+	"container/heap"
+
+	"autorfm/internal/clk"
+)
+
+// Func is a scheduled callback; it receives the current simulation time.
+type Func func(now clk.Tick)
+
+type item struct {
+	t   clk.Tick
+	seq uint64
+	fn  Func
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a deterministic discrete-event queue. The zero value is ready to
+// use.
+type Queue struct {
+	h   itemHeap
+	seq uint64
+	now clk.Tick
+}
+
+// Now returns the current simulation time (the time of the last dispatched
+// event).
+func (q *Queue) Now() clk.Tick { return q.now }
+
+// At schedules fn to run at time t. Scheduling in the past (t < Now) is a
+// programming error and panics, since it would silently corrupt causality.
+func (q *Queue) At(t clk.Tick, fn Func) {
+	if t < q.now {
+		panic("event: scheduling in the past")
+	}
+	q.seq++
+	heap.Push(&q.h, item{t: t, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run d ticks from now.
+func (q *Queue) After(d clk.Tick, fn Func) { q.At(q.now+d, fn) }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Step dispatches the next event. It reports false when the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	it := heap.Pop(&q.h).(item)
+	q.now = it.t
+	it.fn(it.t)
+	return true
+}
+
+// RunUntil dispatches events until the queue is empty or the next event is
+// after deadline. It returns the number of events dispatched.
+func (q *Queue) RunUntil(deadline clk.Tick) int {
+	n := 0
+	for len(q.h) > 0 && q.h[0].t <= deadline {
+		q.Step()
+		n++
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+	return n
+}
+
+// Run dispatches events until the queue is empty or stop returns true.
+// It returns the number of events dispatched.
+func (q *Queue) Run(stop func() bool) int {
+	n := 0
+	for len(q.h) > 0 {
+		if stop != nil && stop() {
+			break
+		}
+		q.Step()
+		n++
+	}
+	return n
+}

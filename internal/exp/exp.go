@@ -1,0 +1,144 @@
+// Package exp is the experiment registry: one entry per table and figure of
+// the paper's evaluation, each regenerating the corresponding rows/series
+// from the simulator, the analytic models, the attack harness, and the
+// power model. The cmd/autorfm-bench binary and the repository's top-level
+// benchmarks are thin wrappers around this package.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"autorfm/internal/dram"
+	"autorfm/internal/sim"
+	"autorfm/internal/stats"
+	"autorfm/internal/workload"
+)
+
+// Scale controls how much work each experiment does. The paper's full runs
+// use 1B instructions per core; all reported metrics are rates, so shorter
+// slices reproduce them with more noise.
+type Scale struct {
+	// Instructions per core per simulation run.
+	Instructions int64
+	// Workloads to include ("" entries are ignored); nil means all 21.
+	Workloads []string
+	// AttackActs is the attacker activation budget for security audits.
+	AttackActs uint64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Quick returns the default scale used by `go test -bench`: every workload,
+// short slices.
+func Quick() Scale {
+	return Scale{Instructions: 250_000, AttackActs: 1_000_000, Seed: 1}
+}
+
+// Full returns a publication-scale configuration (minutes per experiment).
+func Full() Scale {
+	return Scale{Instructions: 1_000_000, AttackActs: 20_000_000, Seed: 1}
+}
+
+func (sc Scale) profiles() []workload.Profile {
+	if sc.Workloads == nil {
+		return workload.Profiles()
+	}
+	var out []workload.Profile
+	for _, name := range sc.Workloads {
+		if name == "" {
+			continue
+		}
+		p, err := workload.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	Table *stats.Table
+	// Summary holds the experiment's headline numbers (averages, key
+	// thresholds) so benchmarks can report them as metrics.
+	Summary map[string]float64
+}
+
+// String renders the result in paper style.
+func (r Result) String() string {
+	s := fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Table)
+	if len(r.Summary) > 0 {
+		keys := make([]string, 0, len(r.Summary))
+		for k := range r.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s += "summary:"
+		for _, k := range keys {
+			s += fmt.Sprintf(" %s=%.3f", k, r.Summary[k])
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Experiment is one registered table/figure generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(sc Scale) Result
+}
+
+// All returns the registered experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1d", "Slowdown of RFM as Rowhammer thresholds reduce", Fig1d},
+		{"fig3", "Performance impact of RFM-4/8/16/32 per workload", Fig3},
+		{"tab3", "Threshold tolerated by MINT vs window (analytic)", Table3},
+		{"tab5", "Workload characteristics: ACT-PKI and ACT-per-tREFI", Table5},
+		{"fig8", "AutoRFM-4 slowdown and ALERT/ACT: Zen vs Rubix mapping", Fig8},
+		{"tab6", "Slowdown and TRH-D: recursive vs fractal mitigation", Table6},
+		{"fig11", "RFM vs AutoRFM slowdown at TH 4 and 8", Fig11},
+		{"fig12", "DRAM power: baseline, Rubix, AutoRFM-8, AutoRFM-4", Fig12},
+		{"fig13", "Average slowdown of PRAC, RFM, AutoRFM vs threshold", Fig13},
+		{"fig14", "TRH-D vs MINT window: recursive vs fractal (analytic)", Fig14},
+		{"fig16", "Escape probability vs damage: MINT-4 vs FM", Fig16},
+		{"fig17", "RFM slowdown under Zen vs Rubix mapping", Fig17},
+		{"fig18", "TRH-D of PrIDE, MINT, Mithril under AutoRFM", Fig18},
+		{"appb", "Security of Fractal Mitigation (Appendix B + audit)", AppB},
+		{"ablate", "Design-choice ablations (retry wait, RFM scheduling, mapping, prefetch)", Ablations},
+	}
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// runPair runs a workload under base (no mitigation, Zen mapping) and the
+// mutated config, returning the slowdown and the test run.
+func runPair(sc Scale, p workload.Profile, mut func(*sim.Config)) (float64, sim.Result, sim.Result) {
+	base := sim.MustRun(sim.Config{
+		Workload:            p,
+		InstructionsPerCore: sc.Instructions,
+		Mode:                dram.ModeNone,
+		Seed:                sc.Seed,
+	})
+	cfg := sim.Config{
+		Workload:            p,
+		InstructionsPerCore: sc.Instructions,
+		Seed:                sc.Seed,
+	}
+	mut(&cfg)
+	test := sim.MustRun(cfg)
+	return sim.Slowdown(base, test), base, test
+}

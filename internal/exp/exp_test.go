@@ -1,0 +1,268 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the per-test cost low: a cross-suite subset of workloads
+// and short slices.
+func tinyScale() Scale {
+	return Scale{
+		Instructions: 60_000,
+		Workloads:    []string{"bwaves", "mcf", "pagerank", "copy"},
+		AttackActs:   300_000,
+		Seed:         1,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every table and figure from the paper's evaluation must be present.
+	for _, want := range []string{"fig1d", "fig3", "tab3", "tab5", "fig8", "tab6",
+		"fig11", "fig12", "fig13", "fig14", "fig16", "fig17", "fig18", "appb"} {
+		if !ids[want] {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+	if _, ok := ByID("fig3"); !ok {
+		t.Error("ByID(fig3) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := Fig3(tinyScale())
+	if len(r.Table.Rows) != 5 { // 4 workloads + AVERAGE
+		t.Fatalf("rows = %d", len(r.Table.Rows))
+	}
+	s4 := r.Summary["rfm4_avg_slowdown_pct"]
+	s32 := r.Summary["rfm32_avg_slowdown_pct"]
+	if s4 <= s32 {
+		t.Fatalf("RFM-4 (%.1f) not worse than RFM-32 (%.1f)", s4, s32)
+	}
+	if s4 < 10 {
+		t.Errorf("RFM-4 avg %.1f%%, expected severe", s4)
+	}
+}
+
+func TestTable3Analytic(t *testing.T) {
+	r := Table3(Scale{})
+	for w, paper := range map[int]float64{4: 96, 8: 182, 16: 356, 32: 702} {
+		got := r.Summary[keyf("trhd_w%d", w)]
+		if got < paper*0.9 || got > paper*1.1 {
+			t.Errorf("w=%d: TRH-D %.0f vs paper %.0f", w, got, paper)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r := Fig8(tinyScale())
+	if r.Summary["zen_alert_per_act_pct"] <= r.Summary["rubix_alert_per_act_pct"] {
+		t.Fatal("Zen mapping did not have more alerts than Rubix")
+	}
+	if r.Summary["rubix_avg_slowdown_pct"] > 8 {
+		t.Fatalf("Rubix AutoRFM-4 slowdown %.1f%% too high", r.Summary["rubix_avg_slowdown_pct"])
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r := Fig11(tinyScale())
+	if r.Summary["autorfm4_avg_pct"] >= r.Summary["rfm4_avg_pct"] {
+		t.Fatal("AutoRFM-4 not better than RFM-4")
+	}
+	if r.Summary["autorfm8_avg_pct"] >= r.Summary["rfm8_avg_pct"] {
+		t.Fatal("AutoRFM-8 not better than RFM-8")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := Fig12(tinyScale())
+	if r.Summary["autorfm4_overhead_mw"] <= r.Summary["autorfm8_overhead_mw"] {
+		t.Fatal("AutoRFM-4 power overhead not above AutoRFM-8")
+	}
+	if r.Summary["autorfm-4_mitig_mw"] <= 0 {
+		t.Fatal("AutoRFM-4 shows no mitigation power")
+	}
+	if r.Summary["baseline_total_mw"] < 200 || r.Summary["baseline_total_mw"] > 2500 {
+		t.Fatalf("baseline power %.0f mW out of range", r.Summary["baseline_total_mw"])
+	}
+}
+
+func TestFig14Monotone(t *testing.T) {
+	r := Fig14(Scale{})
+	if r.Summary["fm_w4"] >= r.Summary["rm_w4"] {
+		t.Fatal("FM threshold not below RM at w=4")
+	}
+	if r.Summary["fm_w4"] >= r.Summary["fm_w32"] {
+		t.Fatal("threshold not increasing with window")
+	}
+}
+
+func TestFig16Summary(t *testing.T) {
+	r := Fig16(Scale{})
+	if got := r.Summary["fm_min_safe_trhd"]; got < 50 || got > 54 {
+		t.Fatalf("fm_min_safe_trhd = %.1f, want ≈52", got)
+	}
+	if r.Summary["mixed_over_direct"] >= 1 {
+		t.Fatal("mixed attack should be weaker than direct")
+	}
+}
+
+func TestFig18Ordering(t *testing.T) {
+	r := Fig18(Scale{AttackActs: 500_000, Seed: 1})
+	if r.Summary["mint_th4"] > r.Summary["pride_th4"]*1.02 {
+		t.Fatalf("MINT TRH-D %.0f above PrIDE %.0f", r.Summary["mint_th4"], r.Summary["pride_th4"])
+	}
+	if r.Summary["mint_th4"] >= r.Summary["mint_th8"] {
+		t.Fatal("TH-4 threshold not below TH-8")
+	}
+	// Paper: all trackers sub-125 at AutoRFMTH-4.
+	if r.Summary["pride_th4"] > 125 {
+		t.Errorf("PrIDE TRH-D %.0f not sub-125", r.Summary["pride_th4"])
+	}
+}
+
+func TestAppBAudit(t *testing.T) {
+	r := AppB(Scale{AttackActs: 400_000, Seed: 1})
+	if r.Summary["baseline_half-double_failures"] == 0 {
+		t.Fatal("baseline policy survived Half-Double in audit")
+	}
+	if r.Summary["fractal_half-double_failures"] != 0 {
+		t.Fatal("fractal policy failed Half-Double in audit")
+	}
+	if r.Summary["recursive_half-double_failures"] != 0 {
+		t.Fatal("recursive policy failed Half-Double in audit")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Table3(Scale{})
+	s := r.String()
+	if !strings.Contains(s, "tab3") || !strings.Contains(s, "Window") {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func keyf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}
+
+func TestAblationsShape(t *testing.T) {
+	sc := tinyScale()
+	r := Ablations(sc)
+	// Longer retry waits must hurt more.
+	if r.Summary["retry200_slowdown"] >= r.Summary["retry800_slowdown"] {
+		t.Fatal("retry-wait ablation not monotone")
+	}
+	// Eager RFM (raamax=1) must be worse than deferred.
+	if r.Summary["raamax1_slowdown"] <= r.Summary["raamax4_slowdown"] {
+		t.Fatal("eager RFM not worse than deferred")
+	}
+	// Mapping spectrum: page-in-row ≥ zen ≥ rubix alerts.
+	if !(r.Summary["map_page-in-row_alert_pct"] > r.Summary["map_amd-zen_alert_pct"] &&
+		r.Summary["map_amd-zen_alert_pct"] > r.Summary["map_rubix_alert_pct"]) {
+		t.Fatalf("mapping alert spectrum wrong: %v / %v / %v",
+			r.Summary["map_page-in-row_alert_pct"],
+			r.Summary["map_amd-zen_alert_pct"],
+			r.Summary["map_rubix_alert_pct"])
+	}
+}
+
+// microScale is the cheapest possible configuration for smoke-testing the
+// expensive sweep experiments.
+func microScale() Scale {
+	return Scale{
+		Instructions: 40_000,
+		Workloads:    []string{"lbm", "bfs"},
+		AttackActs:   200_000,
+		Seed:         1,
+	}
+}
+
+func TestTable5Reports(t *testing.T) {
+	r := Table5(microScale())
+	if len(r.Table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Table.Rows))
+	}
+	if r.Summary["mean_actpki_error_pct"] > 40 {
+		t.Fatalf("ACT-PKI error %.1f%% implausible even at micro scale",
+			r.Summary["mean_actpki_error_pct"])
+	}
+}
+
+func TestFig1dPairsThresholdsWithSlowdowns(t *testing.T) {
+	r := Fig1d(microScale())
+	if r.Summary["trhd_rfm4"] >= r.Summary["trhd_rfm32"] {
+		t.Fatal("threshold not increasing with RFMTH")
+	}
+	if r.Summary["slowdown_rfm4"] <= r.Summary["slowdown_rfm32"] {
+		t.Fatal("slowdown not decreasing with RFMTH")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	r := Table6(microScale())
+	for _, th := range []int{4, 5, 6, 8} {
+		fm := r.Summary[keyf("autorfm%d_trhd_fm", th)]
+		rm := r.Summary[keyf("autorfm%d_trhd_rm", th)]
+		if fm >= rm {
+			t.Fatalf("th=%d: FM %.0f ≥ RM %.0f", th, fm, rm)
+		}
+	}
+	if r.Summary["autorfm4_trhd_fm"] > 75 {
+		t.Fatalf("AutoRFMTH-4 FM threshold %.1f, want ≈74", r.Summary["autorfm4_trhd_fm"])
+	}
+}
+
+func TestFig13Crossovers(t *testing.T) {
+	r := Fig13(microScale())
+	// RFM must blow up at low thresholds and approach zero at high ones.
+	if r.Summary["rfm_at_100"] <= r.Summary["rfm_at_702"] {
+		t.Fatal("RFM curve not decreasing with threshold")
+	}
+	// AutoRFM stays flat and low across the sweep.
+	for _, th := range []string{"74", "161", "356", "702"} {
+		if v := r.Summary["autorfm_at_"+th]; v > 10 {
+			t.Fatalf("AutoRFM at TRH-D %s = %.1f%%, want flat/low", th, v)
+		}
+	}
+	// PRAC is threshold-independent (identical at both ends).
+	if r.Summary["prac_at_74"] != r.Summary["prac_at_702"] {
+		t.Fatal("PRAC floor varies with threshold")
+	}
+}
+
+func TestFig17RubixWorseForRFM(t *testing.T) {
+	r := Fig17(microScale())
+	if r.Summary["rubix_rfm4_pct"] <= r.Summary["zen_rfm4_pct"] {
+		t.Fatalf("RFM-4 on Rubix (%.1f%%) not worse than on Zen (%.1f%%)",
+			r.Summary["rubix_rfm4_pct"], r.Summary["zen_rfm4_pct"])
+	}
+	if r.Summary["rubix_extra_acts_pct_th4"] <= 0 {
+		t.Fatal("Rubix did not add activations")
+	}
+}
+
+func TestFig18MithrilAudit(t *testing.T) {
+	r := Fig18(Scale{AttackActs: 400_000, Seed: 2})
+	// The audit must report a meaningful (non-trivial) max-activation count
+	// that grows with the mitigation interval.
+	m4 := r.Summary["mithril_maxacts_th4"]
+	m8 := r.Summary["mithril_maxacts_th8"]
+	if m4 < 4 || m8 <= m4 {
+		t.Fatalf("mithril audit: th4=%v th8=%v", m4, m8)
+	}
+}

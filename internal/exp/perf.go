@@ -1,0 +1,275 @@
+package exp
+
+import (
+	"fmt"
+
+	"autorfm/internal/analytic"
+	"autorfm/internal/clk"
+	"autorfm/internal/dram"
+	"autorfm/internal/sim"
+	"autorfm/internal/stats"
+)
+
+// Fig3 regenerates Figure 3: per-workload slowdown of RFM-4/8/16/32 over
+// the no-mitigation baseline (paper averages: 33%, 12.9%, 4.4%, 0.2%).
+func Fig3(sc Scale) Result {
+	ths := []int{4, 8, 16, 32}
+	tbl := stats.NewTable("Workload", "RFM-4(%)", "RFM-8(%)", "RFM-16(%)", "RFM-32(%)")
+	sums := make([][]float64, len(ths))
+	for _, p := range sc.profiles() {
+		base := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed})
+		row := []interface{}{p.Name}
+		for i, th := range ths {
+			r := sim.MustRun(sim.Config{
+				Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
+				Mode: dram.ModeRFM, TH: th,
+			})
+			sd := sim.Slowdown(base, r)
+			sums[i] = append(sums[i], sd)
+			row = append(row, sd)
+		}
+		tbl.Add(row...)
+	}
+	summary := map[string]float64{}
+	avgRow := []interface{}{"AVERAGE"}
+	for i, th := range ths {
+		m := stats.Mean(sums[i])
+		avgRow = append(avgRow, m)
+		summary[fmt.Sprintf("rfm%d_avg_slowdown_pct", th)] = m
+	}
+	tbl.Add(avgRow...)
+	return Result{ID: "fig3", Title: "Performance impact of RFM", Table: tbl, Summary: summary}
+}
+
+// Fig1d regenerates Figure 1(d): the average RFM slowdown paired with the
+// threshold each RFMTH tolerates (Table III), i.e. the cost of scaling RFM
+// down the threshold curve.
+func Fig1d(sc Scale) Result {
+	tm := clk.DDR5()
+	fig3 := Fig3(sc)
+	tbl := stats.NewTable("RFMTH", "Tolerated TRH-D", "Avg slowdown(%)")
+	summary := map[string]float64{}
+	for _, th := range []int{32, 16, 8, 4} {
+		_, trhd := analytic.MINTThreshold(th, true, tm, analytic.MTTFTarget)
+		sd := fig3.Summary[fmt.Sprintf("rfm%d_avg_slowdown_pct", th)]
+		tbl.Add(th, trhd, sd)
+		summary[fmt.Sprintf("trhd_rfm%d", th)] = trhd
+		summary[fmt.Sprintf("slowdown_rfm%d", th)] = sd
+	}
+	return Result{ID: "fig1d", Title: "RFM slowdown vs tolerated threshold", Table: tbl, Summary: summary}
+}
+
+// Table5 regenerates Table V: measured ACT-PKI and per-bank ACT-per-tREFI
+// for every workload, against the published values.
+func Table5(sc Scale) Result {
+	tbl := stats.NewTable("Workload", "Suite", "ACT-PKI", "paper", "ACT/tREFI", "paper")
+	var pkiErr, trefiErr []float64
+	for _, p := range sc.profiles() {
+		r := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed})
+		tbl.Add(p.Name, p.Suite, r.ACTPKI(), p.TargetACTPKI, r.ACTPerTREFI(), p.TargetACTPerTREFI)
+		pkiErr = append(pkiErr, abs(r.ACTPKI()-p.TargetACTPKI)/p.TargetACTPKI*100)
+		trefiErr = append(trefiErr, abs(r.ACTPerTREFI()-p.TargetACTPerTREFI)/p.TargetACTPerTREFI*100)
+	}
+	return Result{ID: "tab5", Title: "Workload characteristics", Table: tbl,
+		Summary: map[string]float64{
+			"mean_actpki_error_pct":   stats.Mean(pkiErr),
+			"mean_acttrefi_error_pct": stats.Mean(trefiErr),
+		}}
+}
+
+// Fig8 regenerates Figure 8: AutoRFM-4 slowdown (a) and ALERT-per-ACT (b)
+// under the baseline AMD-Zen mapping and under Rubix randomised mapping
+// (paper averages: 16.5%→3.1% slowdown, 3.7%→0.22% alerts).
+func Fig8(sc Scale) Result {
+	tbl := stats.NewTable("Workload", "Zen slow(%)", "Zen ALERT/ACT(%)",
+		"Rubix slow(%)", "Rubix ALERT/ACT(%)")
+	var zenSD, zenAL, rbxSD, rbxAL []float64
+	for _, p := range sc.profiles() {
+		base := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed})
+		zen := sim.MustRun(sim.Config{
+			Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
+			Mode: dram.ModeAutoRFM, TH: 4, Mapping: "amd-zen",
+		})
+		rbx := sim.MustRun(sim.Config{
+			Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
+			Mode: dram.ModeAutoRFM, TH: 4, Mapping: "rubix",
+		})
+		zs, rs := sim.Slowdown(base, zen), sim.Slowdown(base, rbx)
+		za, ra := zen.AlertPerAct()*100, rbx.AlertPerAct()*100
+		tbl.Add(p.Name, zs, za, rs, ra)
+		zenSD, zenAL = append(zenSD, zs), append(zenAL, za)
+		rbxSD, rbxAL = append(rbxSD, rs), append(rbxAL, ra)
+	}
+	tbl.Add("AVERAGE", stats.Mean(zenSD), stats.Mean(zenAL), stats.Mean(rbxSD), stats.Mean(rbxAL))
+	return Result{ID: "fig8", Title: "Impact of memory mapping on AutoRFM-4", Table: tbl,
+		Summary: map[string]float64{
+			"zen_avg_slowdown_pct":    stats.Mean(zenSD),
+			"zen_alert_per_act_pct":   stats.Mean(zenAL),
+			"rubix_avg_slowdown_pct":  stats.Mean(rbxSD),
+			"rubix_alert_per_act_pct": stats.Mean(rbxAL),
+		}}
+}
+
+// Fig11 regenerates Figure 11: per-workload slowdown of RFM-4/8 (blocking)
+// versus AutoRFM-4/8 (transparent, with Rubix mapping and Fractal
+// Mitigation), all over the Zen no-mitigation baseline.
+func Fig11(sc Scale) Result {
+	tbl := stats.NewTable("Workload", "RFM-4(%)", "AutoRFM-4(%)", "RFM-8(%)", "AutoRFM-8(%)")
+	cols := map[string][]float64{}
+	for _, p := range sc.profiles() {
+		base := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed})
+		vals := []interface{}{p.Name}
+		for _, th := range []int{4, 8} {
+			rfm := sim.MustRun(sim.Config{
+				Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
+				Mode: dram.ModeRFM, TH: th,
+			})
+			auto := sim.MustRun(sim.Config{
+				Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
+				Mode: dram.ModeAutoRFM, TH: th, Mapping: "rubix",
+			})
+			rs, as := sim.Slowdown(base, rfm), sim.Slowdown(base, auto)
+			vals = append(vals, rs, as)
+			cols[fmt.Sprintf("rfm%d", th)] = append(cols[fmt.Sprintf("rfm%d", th)], rs)
+			cols[fmt.Sprintf("auto%d", th)] = append(cols[fmt.Sprintf("auto%d", th)], as)
+		}
+		tbl.Add(vals...)
+	}
+	tbl.Add("AVERAGE", stats.Mean(cols["rfm4"]), stats.Mean(cols["auto4"]),
+		stats.Mean(cols["rfm8"]), stats.Mean(cols["auto8"]))
+	return Result{ID: "fig11", Title: "RFM vs AutoRFM", Table: tbl,
+		Summary: map[string]float64{
+			"rfm4_avg_pct":     stats.Mean(cols["rfm4"]),
+			"autorfm4_avg_pct": stats.Mean(cols["auto4"]),
+			"rfm8_avg_pct":     stats.Mean(cols["rfm8"]),
+			"autorfm8_avg_pct": stats.Mean(cols["auto8"]),
+		}}
+}
+
+// Table6 regenerates Table VI: average AutoRFM slowdown (Rubix + FM) and
+// the analytic TRH-D of recursive vs fractal mitigation for AutoRFMTH of
+// 4, 5, 6 and 8.
+func Table6(sc Scale) Result {
+	tm := clk.DDR5()
+	tbl := stats.NewTable("AutoRFMTH", "Slowdown(%)", "Recursive TRH-D", "Fractal TRH-D")
+	summary := map[string]float64{}
+	for _, th := range []int{4, 5, 6, 8} {
+		var sds []float64
+		for _, p := range sc.profiles() {
+			sd, _, _ := runPair(sc, p, func(c *sim.Config) {
+				c.Mode = dram.ModeAutoRFM
+				c.TH = th
+				c.Mapping = "rubix"
+			})
+			sds = append(sds, sd)
+		}
+		_, rm := analytic.MINTThreshold(th, true, tm, analytic.MTTFTarget)
+		_, fm := analytic.MINTThreshold(th, false, tm, analytic.MTTFTarget)
+		m := stats.Mean(sds)
+		tbl.Add(th, m, rm, fm)
+		summary[fmt.Sprintf("autorfm%d_slowdown_pct", th)] = m
+		summary[fmt.Sprintf("autorfm%d_trhd_fm", th)] = fm
+		summary[fmt.Sprintf("autorfm%d_trhd_rm", th)] = rm
+	}
+	return Result{ID: "tab6", Title: "Slowdown and tolerated threshold", Table: tbl, Summary: summary}
+}
+
+// Fig13 regenerates Figure 13: average slowdown of PRAC+ABO, RFM, and
+// AutoRFM as the tolerated threshold is varied. For each threshold the
+// mitigation interval is derived from the analytic model; RFM points below
+// its reachable range are omitted (the paper's RFM curve stops near 180).
+func Fig13(sc Scale) Result {
+	tm := clk.DDR5()
+	profiles := sc.profiles()
+	// The sweep is expensive (3 mechanisms × 7 thresholds × workloads); a
+	// representative cross-suite subset keeps it tractable at quick scale.
+	if len(profiles) > 7 {
+		sub := []string{"bwaves", "lbm", "mcf", "omnetpp", "pagerank", "bfs", "copy"}
+		sc.Workloads = sub
+		profiles = sc.profiles()
+	}
+	thresholds := []float64{74, 100, 161, 250, 356, 500, 702}
+	tbl := stats.NewTable("TRH-D", "PRAC(%)", "RFM(%)", "AutoRFM(%)")
+	summary := map[string]float64{}
+
+	avg := func(mut func(*sim.Config)) float64 {
+		var sds []float64
+		for _, p := range profiles {
+			sd, _, _ := runPair(sc, p, mut)
+			sds = append(sds, sd)
+		}
+		return stats.Mean(sds)
+	}
+
+	for _, trhd := range thresholds {
+		row := []interface{}{trhd}
+		// PRAC+ABO: inflated timings always; ABO threshold scales with TRH.
+		eth := int(trhd / 2)
+		if eth < 8 {
+			eth = 8
+		}
+		prac := avg(func(c *sim.Config) { c.Mode = dram.ModePRAC; c.PRACETh = eth })
+		row = append(row, prac)
+
+		// RFM: the largest window whose recursive-mitigation threshold is
+		// still below trhd.
+		if w := analytic.WindowForThreshold(trhd, true, tm, analytic.MTTFTarget); w >= 2 {
+			rfm := avg(func(c *sim.Config) { c.Mode = dram.ModeRFM; c.TH = w })
+			row = append(row, rfm)
+			summary[fmt.Sprintf("rfm_at_%0.f", trhd)] = rfm
+		} else {
+			row = append(row, "n/a")
+		}
+
+		// AutoRFM with Rubix + FM.
+		if w := analytic.WindowForThreshold(trhd, false, tm, analytic.MTTFTarget); w >= 2 {
+			auto := avg(func(c *sim.Config) {
+				c.Mode = dram.ModeAutoRFM
+				c.TH = w
+				c.Mapping = "rubix"
+			})
+			row = append(row, auto)
+			summary[fmt.Sprintf("autorfm_at_%0.f", trhd)] = auto
+		} else {
+			row = append(row, "n/a")
+		}
+		summary[fmt.Sprintf("prac_at_%0.f", trhd)] = prac
+		tbl.Add(row...)
+	}
+	return Result{ID: "fig13", Title: "PRAC vs RFM vs AutoRFM across thresholds", Table: tbl, Summary: summary}
+}
+
+// Fig17 regenerates Appendix C / Figure 17: the average slowdown of RFM on
+// a Zen-mapped system versus a Rubix-mapped system, each normalised to its
+// own no-RFM baseline. Rubix's extra activations make RFM slightly worse.
+func Fig17(sc Scale) Result {
+	tbl := stats.NewTable("RFMTH", "Zen RFM slow(%)", "Rubix RFM slow(%)", "Rubix extra ACTs(%)")
+	summary := map[string]float64{}
+	for _, th := range []int{4, 8} {
+		var zen, rbx, extra []float64
+		for _, p := range sc.profiles() {
+			zBase := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed})
+			zRFM := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
+				Mode: dram.ModeRFM, TH: th})
+			rBase := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
+				Mapping: "rubix"})
+			rRFM := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
+				Mode: dram.ModeRFM, TH: th, Mapping: "rubix"})
+			zen = append(zen, sim.Slowdown(zBase, zRFM))
+			rbx = append(rbx, sim.Slowdown(rBase, rRFM))
+			extra = append(extra, (float64(rBase.MC.Acts)/float64(zBase.MC.Acts)-1)*100)
+		}
+		tbl.Add(th, stats.Mean(zen), stats.Mean(rbx), stats.Mean(extra))
+		summary[fmt.Sprintf("zen_rfm%d_pct", th)] = stats.Mean(zen)
+		summary[fmt.Sprintf("rubix_rfm%d_pct", th)] = stats.Mean(rbx)
+		summary[fmt.Sprintf("rubix_extra_acts_pct_th%d", th)] = stats.Mean(extra)
+	}
+	return Result{ID: "fig17", Title: "Impact of RFM on Rubix vs Zen", Table: tbl, Summary: summary}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"autorfm/internal/dram"
+	"autorfm/internal/power"
+	"autorfm/internal/sim"
+	"autorfm/internal/stats"
+)
+
+// activity converts a simulation result into the power model's input.
+func activity(r sim.Result) power.Activity {
+	return power.Activity{
+		Acts:            r.MC.Acts,
+		ColumnOps:       r.MC.Reads + r.MC.Writes,
+		REFs:            r.MC.REFs,
+		VictimRefreshes: r.Dev.VictimRefreshes,
+		Elapsed:         r.Elapsed,
+	}
+}
+
+// Fig12 regenerates Figure 12: average DRAM channel power for the baseline
+// (Zen, no mitigation), standalone Rubix, AutoRFM-8 and AutoRFM-4, split
+// into the paper's four components. The paper reports Rubix adding ≈36mW of
+// activation power and AutoRFM-8/4 adding ≈28/55mW of mitigation power.
+func Fig12(sc Scale) Result {
+	configs := []struct {
+		name string
+		mut  func(*sim.Config)
+	}{
+		{"baseline", func(c *sim.Config) {}},
+		{"rubix", func(c *sim.Config) { c.Mapping = "rubix" }},
+		{"autorfm-8", func(c *sim.Config) {
+			c.Mode = dram.ModeAutoRFM
+			c.TH = 8
+			c.Mapping = "rubix"
+		}},
+		{"autorfm-4", func(c *sim.Config) {
+			c.Mode = dram.ModeAutoRFM
+			c.TH = 4
+			c.Mapping = "rubix"
+		}},
+	}
+	params := power.DDR5Params()
+	tbl := stats.NewTable("Config", "ACT+RW(mW)", "Other(mW)", "Refresh(mW)", "Mitig(mW)", "Total(mW)")
+	summary := map[string]float64{}
+	for _, cfg := range configs {
+		var act, oth, ref, mit, tot []float64
+		for _, p := range sc.profiles() {
+			scfg := sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed}
+			cfg.mut(&scfg)
+			r := sim.MustRun(scfg)
+			b := power.Compute(params, activity(r))
+			act = append(act, b.ACTRW*1000)
+			oth = append(oth, b.Other*1000)
+			ref = append(ref, b.Refresh*1000)
+			mit = append(mit, b.Mitigation*1000)
+			tot = append(tot, b.Total()*1000)
+		}
+		tbl.Add(cfg.name, stats.Mean(act), stats.Mean(oth), stats.Mean(ref),
+			stats.Mean(mit), stats.Mean(tot))
+		summary[cfg.name+"_total_mw"] = stats.Mean(tot)
+		summary[cfg.name+"_mitig_mw"] = stats.Mean(mit)
+		summary[cfg.name+"_actrw_mw"] = stats.Mean(act)
+	}
+	summary["autorfm4_overhead_mw"] = summary["autorfm-4_total_mw"] - summary["baseline_total_mw"]
+	summary["autorfm8_overhead_mw"] = summary["autorfm-8_total_mw"] - summary["baseline_total_mw"]
+	summary["rubix_overhead_mw"] = summary["rubix_total_mw"] - summary["baseline_total_mw"]
+	return Result{ID: "fig12", Title: "DRAM power breakdown", Table: tbl, Summary: summary}
+}

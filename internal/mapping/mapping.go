@@ -1,0 +1,258 @@
+// Package mapping translates physical line addresses (64-byte cache lines)
+// into DRAM coordinates: bank, row, and column.
+//
+// The memory mapping policy decides which lines are co-resident in a row and
+// therefore in a subarray, which is the property AutoRFM's performance hinges
+// on (Section IV-E of the paper): a mapping that keeps spatially-close lines
+// in the same row makes consecutive requests conflict with the Subarray
+// Under Mitigation, while a randomised mapping (Rubix) drives the conflict
+// probability down to ~1/256.
+//
+// Three mappings are provided:
+//
+//   - ZenMapping: the paper's baseline (AMD Zen, Table IV) — two lines of
+//     each 4KB page per bank, both in the same row, page spread over 32
+//     banks with consecutive lines alternating subchannels.
+//   - RubixMapping: line address encrypted by a low-latency block cipher
+//     before decomposition, per Rubix (ASPLOS'24).
+//   - PageInRowMapping: a conventional open-page-friendly mapping that puts
+//     an entire 4KB page in one row; used in tests and as a worst case.
+package mapping
+
+import (
+	"fmt"
+
+	"autorfm/internal/cipher"
+)
+
+// Geometry describes the simulated memory organisation (Table IV).
+type Geometry struct {
+	Banks        int // total banks across all subchannels (64)
+	RowsPerBank  int // 128K
+	ColsPerRow   int // 64-byte lines per row: 4KB rows → 64
+	SubarrayRows int // rows per subarray (512 → 256 subarrays/bank)
+	Subchannels  int // 2
+}
+
+// Default returns the baseline system geometry of Table IV: 32GB, 64 banks
+// (32 per subchannel × 2 subchannels), 128K rows of 4KB per bank, 256
+// subarrays of 512 rows per bank.
+func Default() Geometry {
+	return Geometry{
+		Banks:        64,
+		RowsPerBank:  128 * 1024,
+		ColsPerRow:   64,
+		SubarrayRows: 512,
+		Subchannels:  2,
+	}
+}
+
+// Lines returns the total number of 64B lines in the address space.
+func (g Geometry) Lines() uint64 {
+	return uint64(g.Banks) * uint64(g.RowsPerBank) * uint64(g.ColsPerRow)
+}
+
+// LineBits returns the number of bits in a line address.
+func (g Geometry) LineBits() uint {
+	n, b := g.Lines(), uint(0)
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// SubarraysPerBank returns the number of subarrays in each bank.
+func (g Geometry) SubarraysPerBank() int { return g.RowsPerBank / g.SubarrayRows }
+
+// Subarray returns the subarray index of a row within its bank. Subarrays
+// are contiguous groups of rows (row >> 9 with 512-row subarrays).
+func (g Geometry) Subarray(row uint32) int { return int(row) / g.SubarrayRows }
+
+// Location is a fully-decoded DRAM coordinate.
+type Location struct {
+	Bank int    // global bank index [0, Banks)
+	Row  uint32 // row within the bank
+	Col  uint16 // 64B column within the row
+}
+
+// Subchannel returns the subchannel the bank belongs to.
+func (g Geometry) Subchannel(bank int) int {
+	return bank / (g.Banks / g.Subchannels)
+}
+
+// Mapper converts a line address to a DRAM location. Implementations must be
+// bijections over [0, Geometry.Lines()).
+type Mapper interface {
+	// Map decodes a line address into its DRAM coordinates.
+	Map(line uint64) Location
+	// Unmap is the inverse of Map.
+	Unmap(loc Location) uint64
+	// Name identifies the mapping in reports.
+	Name() string
+	// Geometry returns the geometry the mapper was built for.
+	Geometry() Geometry
+}
+
+const (
+	linesPerPage = 64 // 4KB page / 64B line
+	pageBankSpan = 32 // a page is spread over 32 banks (one subchannel)
+)
+
+// ZenMapping models the AMD Zen server mapping used as the paper's baseline:
+// each 4KB page is spread across 32 of the 64 banks with two of its lines
+// per bank, and those two lines co-resident in a single row. Consecutive
+// lines alternate subchannels, so a page burst loads both data buses
+// evenly. This maximises bank-level parallelism while retaining enough row
+// locality that page-buddy accesses hit the same row — exactly the
+// behaviour that causes SAUM conflicts in Fig 8.
+type ZenMapping struct {
+	geo Geometry
+}
+
+// NewZen returns the baseline AMD-Zen-style mapping.
+func NewZen(geo Geometry) *ZenMapping {
+	return &ZenMapping{geo: geo}
+}
+
+func (z *ZenMapping) Name() string       { return "amd-zen" }
+func (z *ZenMapping) Geometry() Geometry { return z.geo }
+
+// Map decomposes a line address as follows: the in-page offset's low bit
+// selects the subchannel (line-interleaved buses); the next four bits pick
+// one of 16 bank slots, rotated by the page index so consecutive pages use
+// different banks; the page's parity spreads odd/even pages over disjoint
+// bank halves; and the top offset bit selects which of the two per-bank
+// lines ("pair"), which land in adjacent columns of one row. Each row packs
+// two lines from each of 32 consecutive same-parity pages.
+func (z *ZenMapping) Map(line uint64) Location {
+	g := z.geo
+	page := line / linesPerPage
+	off := int(line % linesPerPage)
+
+	sub := off & (g.Subchannels - 1)
+	o2 := off >> 1     // [0, 32): position within the subchannel
+	slot := o2 & 15    // 16 bank slots per page per subchannel
+	pair := o2 >> 4    // which of the page's two lines in this bank
+	hpage := page >> 1 // same-parity page index
+
+	rot := int(hpage) & 15
+	bankInSub := ((slot+rot)&15)*2 + int(page&1)
+
+	rowPage := int(hpage) & (pageBankSpan - 1) // 32 pages share each row
+	row := uint32(hpage / pageBankSpan)
+
+	banksPerSub := g.Banks / g.Subchannels
+	return Location{
+		Bank: sub*banksPerSub + bankInSub,
+		Row:  row % uint32(g.RowsPerBank),
+		Col:  uint16(rowPage*2 + pair),
+	}
+}
+
+// Unmap inverts Map.
+func (z *ZenMapping) Unmap(loc Location) uint64 {
+	g := z.geo
+	banksPerSub := g.Banks / g.Subchannels
+	sub := loc.Bank / banksPerSub
+	bankInSub := loc.Bank % banksPerSub
+
+	rowPage := int(loc.Col) / 2
+	pair := int(loc.Col) % 2
+	hpage := uint64(loc.Row)*pageBankSpan + uint64(rowPage)
+	page := hpage*2 + uint64(bankInSub&1)
+
+	rot := int(hpage) & 15
+	slot := ((bankInSub >> 1) - rot) & 15
+	off := (pair*16+slot)*2 + sub
+	return page*linesPerPage + uint64(off)
+}
+
+// RubixMapping encrypts the line address with a low-latency block cipher and
+// decomposes the ciphertext with a fixed layout. Because the ciphertext is a
+// pseudorandom bijection of the address space, any spatial correlation in the
+// access stream is destroyed: the probability that two requests land in the
+// same subarray is 1/(subarrays per bank) regardless of their addresses.
+type RubixMapping struct {
+	geo Geometry
+	blk *cipher.Block
+}
+
+// NewRubix returns a randomised mapping keyed by key. The key models the
+// per-boot secret of the Rubix design.
+func NewRubix(geo Geometry, key uint64) *RubixMapping {
+	return &RubixMapping{geo: geo, blk: cipher.MustNew(geo.LineBits(), key)}
+}
+
+func (r *RubixMapping) Name() string       { return "rubix" }
+func (r *RubixMapping) Geometry() Geometry { return r.geo }
+
+// Map encrypts then decomposes: bank in the low bits, column next, row in
+// the high bits. Any fixed decomposition works because the ciphertext bits
+// are uniformly mixed.
+func (r *RubixMapping) Map(line uint64) Location {
+	g := r.geo
+	e := r.blk.Encrypt(line)
+	bank := int(e % uint64(g.Banks))
+	e /= uint64(g.Banks)
+	col := uint16(e % uint64(g.ColsPerRow))
+	e /= uint64(g.ColsPerRow)
+	return Location{Bank: bank, Row: uint32(e % uint64(g.RowsPerBank)), Col: col}
+}
+
+// Unmap recomposes and decrypts.
+func (r *RubixMapping) Unmap(loc Location) uint64 {
+	g := r.geo
+	e := uint64(loc.Row)
+	e = e*uint64(g.ColsPerRow) + uint64(loc.Col)
+	e = e*uint64(g.Banks) + uint64(loc.Bank)
+	return r.blk.Decrypt(e)
+}
+
+// PageInRowMapping places an entire 4KB page in a single row (the classic
+// open-page mapping). It maximises row-buffer locality and therefore
+// maximises SAUM conflicts; the paper discusses it as the worst case for
+// AutoRFM ("If a mapping places an entire 4KB page in a row ... the
+// likelihood of conflict also becomes significant").
+type PageInRowMapping struct {
+	geo Geometry
+}
+
+// NewPageInRow returns the page-per-row mapping.
+func NewPageInRow(geo Geometry) *PageInRowMapping {
+	return &PageInRowMapping{geo: geo}
+}
+
+func (p *PageInRowMapping) Name() string       { return "page-in-row" }
+func (p *PageInRowMapping) Geometry() Geometry { return p.geo }
+
+// Map places line offset in the column bits and interleaves pages across
+// banks so that consecutive pages use different banks.
+func (p *PageInRowMapping) Map(line uint64) Location {
+	g := p.geo
+	col := uint16(line % uint64(g.ColsPerRow))
+	page := line / uint64(g.ColsPerRow)
+	bank := int(page % uint64(g.Banks))
+	row := uint32(page / uint64(g.Banks))
+	return Location{Bank: bank, Row: row % uint32(g.RowsPerBank), Col: col}
+}
+
+// Unmap inverts Map.
+func (p *PageInRowMapping) Unmap(loc Location) uint64 {
+	g := p.geo
+	page := uint64(loc.Row)*uint64(g.Banks) + uint64(loc.Bank)
+	return page*uint64(g.ColsPerRow) + uint64(loc.Col)
+}
+
+// ByName constructs a mapper from its report name; key seeds randomised
+// mappings.
+func ByName(name string, geo Geometry, key uint64) (Mapper, error) {
+	switch name {
+	case "amd-zen", "zen":
+		return NewZen(geo), nil
+	case "rubix":
+		return NewRubix(geo, key), nil
+	case "page-in-row":
+		return NewPageInRow(geo), nil
+	}
+	return nil, fmt.Errorf("mapping: unknown mapping %q", name)
+}

@@ -1,0 +1,224 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"autorfm/internal/rng"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	g := Default()
+	// Table IV: 32 GB total.
+	if bytes := g.Lines() * 64; bytes != 32<<30 {
+		t.Fatalf("capacity = %d bytes, want 32GB", bytes)
+	}
+	if g.LineBits() != 29 {
+		t.Fatalf("LineBits = %d, want 29", g.LineBits())
+	}
+	if g.SubarraysPerBank() != 256 {
+		t.Fatalf("SubarraysPerBank = %d, want 256", g.SubarraysPerBank())
+	}
+}
+
+func TestSubarrayIndex(t *testing.T) {
+	g := Default()
+	if g.Subarray(0) != 0 || g.Subarray(511) != 0 {
+		t.Error("rows 0..511 must be subarray 0")
+	}
+	if g.Subarray(512) != 1 {
+		t.Error("row 512 must be subarray 1")
+	}
+	if g.Subarray(uint32(g.RowsPerBank-1)) != 255 {
+		t.Error("last row must be subarray 255")
+	}
+}
+
+func TestSubchannel(t *testing.T) {
+	g := Default()
+	if g.Subchannel(0) != 0 || g.Subchannel(31) != 0 {
+		t.Error("banks 0..31 are subchannel 0")
+	}
+	if g.Subchannel(32) != 1 || g.Subchannel(63) != 1 {
+		t.Error("banks 32..63 are subchannel 1")
+	}
+}
+
+func mappers(t *testing.T) []Mapper {
+	t.Helper()
+	g := Default()
+	return []Mapper{NewZen(g), NewRubix(g, 0xfeed), NewPageInRow(g)}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, m := range mappers(t) {
+		r := rng.New(1)
+		lines := int64(m.Geometry().Lines())
+		for i := 0; i < 20000; i++ {
+			line := uint64(r.Int63n(lines))
+			loc := m.Map(line)
+			g := m.Geometry()
+			if loc.Bank < 0 || loc.Bank >= g.Banks {
+				t.Fatalf("%s: bank %d out of range", m.Name(), loc.Bank)
+			}
+			if int(loc.Row) >= g.RowsPerBank {
+				t.Fatalf("%s: row %d out of range", m.Name(), loc.Row)
+			}
+			if int(loc.Col) >= g.ColsPerRow {
+				t.Fatalf("%s: col %d out of range", m.Name(), loc.Col)
+			}
+			if back := m.Unmap(loc); back != line {
+				t.Fatalf("%s: Unmap(Map(%d)) = %d", m.Name(), line, back)
+			}
+		}
+	}
+}
+
+// Property-based round trip over arbitrary lines.
+func TestRoundTripProperty(t *testing.T) {
+	g := Default()
+	for _, m := range []Mapper{NewZen(g), NewRubix(g, 3), NewPageInRow(g)} {
+		m := m
+		f := func(v uint64) bool {
+			line := v % g.Lines()
+			return m.Unmap(m.Map(line)) == line
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// TestZenPageStructure verifies the properties Section III states: a 4KB
+// page occupies 32 banks, two lines per bank, the two lines in a bank share
+// a row (and hence a subarray), and — as on real line-interleaved channels
+// — the page loads both subchannels evenly.
+func TestZenPageStructure(t *testing.T) {
+	g := Default()
+	z := NewZen(g)
+	for _, page := range []uint64{0, 1, 12345, 999999} {
+		type slot struct {
+			row uint32
+			n   int
+		}
+		banks := map[int]*slot{}
+		subCount := map[int]int{}
+		for off := uint64(0); off < linesPerPage; off++ {
+			loc := z.Map(page*linesPerPage + off)
+			subCount[g.Subchannel(loc.Bank)]++
+			s := banks[loc.Bank]
+			if s == nil {
+				banks[loc.Bank] = &slot{row: loc.Row, n: 1}
+			} else {
+				if s.row != loc.Row {
+					t.Fatalf("page %d: two lines in bank %d land in rows %d and %d",
+						page, loc.Bank, s.row, loc.Row)
+				}
+				s.n++
+			}
+		}
+		if len(banks) != pageBankSpan {
+			t.Fatalf("page %d uses %d banks, want %d", page, len(banks), pageBankSpan)
+		}
+		for b, s := range banks {
+			if s.n != 2 {
+				t.Fatalf("page %d: bank %d holds %d lines, want 2", page, b, s.n)
+			}
+		}
+		if subCount[0] != 32 || subCount[1] != 32 {
+			t.Fatalf("page %d: subchannel balance %v, want 32/32", page, subCount)
+		}
+	}
+}
+
+// TestZenConsecutivePagesRotate checks that consecutive same-subchannel pages
+// do not all start on the same bank (bank-level parallelism).
+func TestZenConsecutivePagesRotate(t *testing.T) {
+	g := Default()
+	z := NewZen(g)
+	firstBank := map[int]bool{}
+	for page := uint64(0); page < 64; page += 2 { // same subchannel
+		firstBank[z.Map(page*linesPerPage).Bank] = true
+	}
+	if len(firstBank) < 16 {
+		t.Fatalf("only %d distinct starting banks over 32 pages", len(firstBank))
+	}
+}
+
+// TestRubixSpreadsStreams verifies the key Rubix property (Section IV-F):
+// a sequential stream is spread essentially uniformly over banks and
+// subarrays.
+func TestRubixSpreadsStreams(t *testing.T) {
+	g := Default()
+	m := NewRubix(g, 7)
+	bankCounts := make([]int, g.Banks)
+	saCounts := make([]int, g.SubarraysPerBank())
+	const n = 1 << 16
+	for line := uint64(0); line < n; line++ {
+		loc := m.Map(line)
+		bankCounts[loc.Bank]++
+		saCounts[g.Subarray(loc.Row)]++
+	}
+	wantBank := float64(n) / float64(g.Banks)
+	for b, c := range bankCounts {
+		if math.Abs(float64(c)-wantBank) > 6*math.Sqrt(wantBank) {
+			t.Errorf("bank %d: %d hits, want ≈%.0f", b, c, wantBank)
+		}
+	}
+	wantSA := float64(n) / float64(g.SubarraysPerBank())
+	for sa, c := range saCounts {
+		if math.Abs(float64(c)-wantSA) > 6*math.Sqrt(wantSA) {
+			t.Errorf("subarray %d: %d hits, want ≈%.0f", sa, c, wantSA)
+		}
+	}
+}
+
+// TestZenBuddyLinesShareSubarray pins down the mechanism behind the high
+// ALERT rate of Fig 8(b): the two lines of a page that live in the same bank
+// share a row, so a mitigation triggered by one conflicts with an access to
+// the other.
+func TestZenBuddyLinesShareSubarray(t *testing.T) {
+	g := Default()
+	z := NewZen(g)
+	for page := uint64(0); page < 100; page++ {
+		for off := uint64(0); off < 32; off++ {
+			a := z.Map(page*linesPerPage + off)
+			b := z.Map(page*linesPerPage + off + 32)
+			if a.Bank != b.Bank {
+				t.Fatalf("buddy lines of page %d off %d not in same bank", page, off)
+			}
+			if g.Subarray(a.Row) != g.Subarray(b.Row) {
+				t.Fatalf("buddy lines of page %d not in same subarray", page)
+			}
+		}
+	}
+}
+
+func TestPageInRowKeepsPageTogether(t *testing.T) {
+	g := Default()
+	m := NewPageInRow(g)
+	loc0 := m.Map(0)
+	for off := uint64(1); off < linesPerPage; off++ {
+		loc := m.Map(off)
+		if loc.Bank != loc0.Bank || loc.Row != loc0.Row {
+			t.Fatalf("page-in-row: line %d left the row", off)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	g := Default()
+	for _, name := range []string{"amd-zen", "zen", "rubix", "page-in-row"} {
+		m, err := ByName(name, g, 1)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if m == nil {
+			t.Errorf("ByName(%q) returned nil", name)
+		}
+	}
+	if _, err := ByName("bogus", g, 1); err == nil {
+		t.Error("ByName(bogus) did not error")
+	}
+}

@@ -1,0 +1,402 @@
+// Package memctrl implements the memory controller: per-bank request
+// queues, a closed-page command scheduler with a tRAS row-hit window,
+// data-bus contention per subchannel, periodic refresh, and the three
+// mitigation-time protocols the paper compares:
+//
+//   - RFM (Section II-E): the MC counts activations per bank (RAA) and
+//     issues a blocking RFM command when the count reaches RFMTH; REF
+//     decrements RAA by RFMTH.
+//   - AutoRFM (Section IV): the device mitigates transparently; the MC only
+//     reacts to ALERT on a failed ACT by marking the bank busy for the
+//     mitigation time and retrying (the busy-bit + timestamp design of
+//     Fig 7 — one bit and one timestamp per bank, 128 bytes of SRAM total).
+//   - PRAC+ABO (Section VII-A): the device raises ABO when a per-row
+//     counter crosses ETH; the MC grants a back-off stall.
+//
+// The scheduler is event-driven: each bank re-evaluates what it can issue
+// whenever a request arrives, a timing constraint expires, or a blocking
+// window (REF/RFM/ALERT-retry) ends.
+package memctrl
+
+import (
+	"autorfm/internal/clk"
+	"autorfm/internal/dram"
+	"autorfm/internal/event"
+	"autorfm/internal/mapping"
+)
+
+// Request is one 64-byte memory transaction.
+type Request struct {
+	Line  uint64
+	Write bool
+	// Done is invoked at data-return time for reads; nil for writes
+	// (writebacks are posted).
+	Done func(now clk.Tick)
+
+	arrive clk.Tick
+	loc    mapping.Location
+}
+
+// Config configures the controller.
+type Config struct {
+	Timing clk.Timing
+	Mapper mapping.Mapper
+	// RetryWait is how long a bank is held busy after an ALERTed ACT before
+	// the retry; defaults to the mitigation time (4 × tRC ≈ 200ns), after
+	// which the paper guarantees the retry succeeds.
+	RetryWait clk.Tick
+	// RFMTH is the RAA threshold for ModeRFM devices (ignored otherwise).
+	RFMTH int
+	// RAAMaxFactor × RFMTH is the hard RAA ceiling (the DDR5 RAAMMT): the
+	// MC prefers to issue RFM opportunistically while the bank is idle once
+	// RAA ≥ RFMTH, but must issue it before the next ACT once RAA reaches
+	// the ceiling. Defaults to 4.
+	RAAMaxFactor int
+}
+
+// Stats aggregates controller-side counters.
+type Stats struct {
+	Reads, Writes     uint64
+	RowHits           uint64 // CAS serviced from an open row within tRAS
+	Acts              uint64 // successful activations issued
+	Alerts            uint64 // ACTs declined by the device (SAUM conflict)
+	RFMs              uint64 // explicit RFM commands issued
+	REFs              uint64 // REF commands issued (per-channel)
+	PRACBackoffs      uint64 // ABO back-off stalls granted
+	ReadLatencySum    clk.Tick
+	QueueOccupancySum uint64 // integral of queued requests, sampled per issue
+}
+
+type bankState struct {
+	id    int
+	queue []*Request
+
+	nextAct   clk.Tick // earliest time the next ACT may issue (tRC rule)
+	busyUntil clk.Tick // REF / RFM / ALERT-retry blocking
+	openRow   int64    // -1 when no row is open
+	actTime   clk.Tick // ACT time of the open row
+	openUntil clk.Tick // actTime + tRAS: the auto-precharge point
+
+	raa int // rolling activation count (RFM mode)
+
+	scheduled bool
+	wakeAt    clk.Tick
+	gen       uint64
+}
+
+// subchState holds per-subchannel rank-level activation constraints.
+type subchState struct {
+	busFree  clk.Tick    // data-bus occupancy
+	nextAct  clk.Tick    // tRRD: ACT-to-ACT across banks
+	actRing  [4]clk.Tick // last four ACT times (tFAW window)
+	ringHead int
+}
+
+// actAllowedAt returns the earliest time an ACT may issue on this
+// subchannel under tRRD and tFAW.
+func (s *subchState) actAllowedAt(tm clk.Timing) clk.Tick {
+	return clk.Max(s.nextAct, s.actRing[s.ringHead]+tm.TFAW)
+}
+
+// recordAct registers an ACT at time t.
+func (s *subchState) recordAct(t clk.Tick, tm clk.Timing) {
+	s.nextAct = t + tm.TRRD
+	s.actRing[s.ringHead] = t
+	s.ringHead = (s.ringHead + 1) % len(s.actRing)
+}
+
+// Controller schedules commands for one channel.
+type Controller struct {
+	cfg     Config
+	q       *event.Queue
+	dev     *dram.Device
+	banks   []*bankState
+	subch   []*subchState
+	refIdx  uint64
+	pending int // requests admitted but not completed/issued-for-write
+
+	Stats Stats
+}
+
+// New builds a controller for dev, driven by the event queue q. It schedules
+// the periodic REF stream immediately.
+func New(cfg Config, dev *dram.Device, q *event.Queue) *Controller {
+	if cfg.RetryWait == 0 {
+		cfg.RetryWait = cfg.Timing.MitigationTime(4)
+	}
+	if cfg.RAAMaxFactor == 0 {
+		cfg.RAAMaxFactor = 4
+	}
+	c := &Controller{
+		cfg:   cfg,
+		q:     q,
+		dev:   dev,
+		subch: make([]*subchState, cfg.Mapper.Geometry().Subchannels),
+	}
+	for i := range c.subch {
+		sub := &subchState{}
+		for j := range sub.actRing {
+			sub.actRing[j] = -clk.MS(1) // no ACTs in the initial tFAW window
+		}
+		c.subch[i] = sub
+	}
+	c.banks = make([]*bankState, cfg.Mapper.Geometry().Banks)
+	for i := range c.banks {
+		c.banks[i] = &bankState{id: i, openRow: -1}
+	}
+	q.At(q.Now()+cfg.Timing.TREFI, c.refresh)
+	return c
+}
+
+// Pending returns the number of requests admitted but not yet completed
+// (writes count until their ACT/CAS issues).
+func (c *Controller) Pending() int { return c.pending }
+
+// Submit admits a request at the current simulation time.
+func (c *Controller) Submit(req *Request) {
+	now := c.q.Now()
+	req.arrive = now
+	req.loc = c.cfg.Mapper.Map(req.Line)
+	b := c.banks[req.loc.Bank]
+	b.queue = append(b.queue, req)
+	c.pending++
+	c.wake(b, now)
+}
+
+// wake schedules a scheduling pass for bank b at time t, deduplicating so
+// that only the earliest pending pass survives.
+func (c *Controller) wake(b *bankState, t clk.Tick) {
+	if b.scheduled && b.wakeAt <= t {
+		return
+	}
+	b.scheduled = true
+	b.wakeAt = t
+	b.gen++
+	gen := b.gen
+	c.q.At(t, func(now clk.Tick) {
+		if b.gen != gen {
+			return
+		}
+		b.scheduled = false
+		c.tryIssue(b, now)
+	})
+}
+
+// refresh issues the periodic all-bank REF: every bank is blocked for tRFC
+// once its in-flight row has closed. REF also rolls back RAA by RFMTH
+// (Section II-E) and lets the device do its REF-time work.
+func (c *Controller) refresh(now clk.Tick) {
+	c.Stats.REFs++
+	c.refIdx++
+	tm := c.cfg.Timing
+	for _, b := range c.banks {
+		start := clk.Max(now, clk.Max(b.nextAct, b.busyUntil))
+		b.busyUntil = start + tm.TRFC
+		b.nextAct = clk.Max(b.nextAct, b.busyUntil)
+		b.openRow = -1
+		if c.dev.Cfg.Mode == dram.ModeRFM {
+			b.raa -= c.cfg.RFMTH
+			if b.raa < 0 {
+				b.raa = 0
+			}
+		}
+		c.dev.Banks[b.id].ExecuteREF(c.refIdx)
+		if len(b.queue) > 0 || (c.rfmActive() && b.raa >= c.cfg.RFMTH) {
+			c.wake(b, b.busyUntil)
+		}
+	}
+	c.q.At(now+tm.TREFI, c.refresh)
+}
+
+// tryIssue is the per-bank scheduler: serve a row hit if one is possible,
+// otherwise issue any pending RFM, otherwise activate for the oldest
+// request.
+func (c *Controller) tryIssue(b *bankState, now clk.Tick) {
+	tm := c.cfg.Timing
+
+	if len(b.queue) == 0 {
+		// Idle bank: drain accumulated RAA opportunistically so the RFM
+		// cost is not paid by demand requests.
+		if c.rfmActive() && b.raa >= c.cfg.RFMTH {
+			t := clk.Max(now, clk.Max(b.nextAct, b.busyUntil))
+			if t > now {
+				c.wake(b, t)
+				return
+			}
+			c.issueRFM(b, now)
+		}
+		return
+	}
+	req := b.queue[0]
+
+	// Row-buffer hit: the row is still open (closed-page with a tRAS grace
+	// window, Section III) and we are not inside a blocking window.
+	if b.openRow == int64(req.loc.Row) && now < b.openUntil && now >= b.actTime+tm.TRCD && now >= b.busyUntil {
+		c.serveCAS(b, req, now, true)
+		return
+	}
+
+	// Everything else requires the bank to be activatable, and the
+	// subchannel to have tRRD/tFAW headroom.
+	sub := c.subch[c.cfg.Mapper.Geometry().Subchannel(b.id)]
+	t := clk.Max(now, clk.Max(b.nextAct, b.busyUntil))
+	t = clk.Max(t, sub.actAllowedAt(tm))
+
+	// Once RAA reaches the RAAmax ceiling, an RFM must precede the next
+	// ACT even with demand waiting.
+	if c.rfmActive() && b.raa >= c.cfg.RFMTH*c.cfg.RAAMaxFactor {
+		if t > now {
+			c.wake(b, t)
+			return
+		}
+		c.issueRFM(b, now)
+		return
+	}
+
+	if t > now {
+		c.wake(b, t)
+		return
+	}
+
+	// Issue the ACT.
+	res := c.dev.Banks[b.id].Activate(now, req.loc.Row)
+	if res.Alert {
+		// The ACT failed against the SAUM: mark the bank busy and retry
+		// after the mitigation time (Fig 7). The retry is guaranteed to
+		// succeed with Fractal Mitigation; with recursive mitigation a
+		// fresh mitigation may decline it again.
+		c.Stats.Alerts++
+		b.busyUntil = now + c.cfg.RetryWait
+		c.wake(b, b.busyUntil)
+		return
+	}
+	c.Stats.Acts++
+	sub.recordAct(now, tm)
+	b.openRow = int64(req.loc.Row)
+	b.actTime = now
+	b.openUntil = now + tm.TRAS
+	b.nextAct = now + tm.TRC
+	if c.dev.Cfg.Mode == dram.ModeRFM {
+		b.raa++
+	}
+	if res.WindowClosed {
+		// The mitigation starts at this ACT's precharge (Section IV-B).
+		bank := c.dev.Banks[b.id]
+		pt := b.openUntil
+		c.q.At(pt, func(clk.Tick) { bank.StartPendingMitigation(pt) })
+	}
+	if res.ABO {
+		// Grant the PRAC back-off once the row has closed: an RFM-length
+		// stall during which the device mitigates the overflowing row.
+		c.schedulePRACBackoff(b)
+	}
+	c.serveCAS(b, req, now+tm.TRCD, false)
+}
+
+// serveCAS issues the column access for req at casTime, models data-bus
+// occupancy, completes the request, and plans the next scheduling pass.
+func (c *Controller) serveCAS(b *bankState, req *Request, casTime clk.Tick, hit bool) {
+	tm := c.cfg.Timing
+	sub := c.subch[c.cfg.Mapper.Geometry().Subchannel(b.id)]
+	dataStart := clk.Max(casTime+tm.TCL, sub.busFree)
+	sub.busFree = dataStart + tm.TBURST
+	done := dataStart + tm.TBURST
+
+	b.queue = b.queue[1:]
+	c.pending--
+	if hit {
+		c.Stats.RowHits++
+	}
+	if req.Write {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+		c.Stats.ReadLatencySum += done - req.arrive
+		if req.Done != nil {
+			cb := req.Done
+			c.q.At(done, func(now clk.Tick) { cb(now) })
+		}
+	}
+	c.Stats.QueueOccupancySum += uint64(len(b.queue))
+
+	if len(b.queue) == 0 {
+		if c.rfmActive() && b.raa >= c.cfg.RFMTH {
+			// Drain RAA while idle, once the row has closed.
+			c.wake(b, b.nextAct)
+		}
+		return
+	}
+	// Plan the next pass: a same-row follower can CAS once the bus frees
+	// up (if still within the tRAS window); anything else waits for tRC.
+	next := b.queue[0]
+	if b.openRow == int64(next.loc.Row) {
+		at := clk.Max(casTime+tm.TBURST, b.actTime+tm.TRCD)
+		if at < b.openUntil {
+			c.wake(b, at)
+			return
+		}
+	}
+	c.wake(b, b.nextAct)
+}
+
+// issueRFM issues one RFM command at now: the bank stalls for tRFM while
+// the device performs a mitigation, and RAA rolls back by RFMTH.
+func (c *Controller) issueRFM(b *bankState, now clk.Tick) {
+	c.Stats.RFMs++
+	b.busyUntil = now + c.cfg.Timing.TRFM
+	b.raa -= c.cfg.RFMTH
+	if b.raa < 0 {
+		b.raa = 0
+	}
+	c.dev.Banks[b.id].ExecuteRFM()
+	if len(b.queue) > 0 || b.raa >= c.cfg.RFMTH {
+		c.wake(b, b.busyUntil)
+	}
+}
+
+// rfmActive reports whether explicit RFM scheduling applies.
+func (c *Controller) rfmActive() bool {
+	return c.dev.Cfg.Mode == dram.ModeRFM && c.cfg.RFMTH > 0
+}
+
+// schedulePRACBackoff stalls the bank for tRFM once the current row closes
+// and lets the device perform the ABO mitigation.
+func (c *Controller) schedulePRACBackoff(b *bankState) {
+	bank := c.dev.Banks[b.id]
+	at := b.nextAct
+	c.q.At(at, func(now clk.Tick) {
+		start := clk.Max(now, b.busyUntil)
+		b.busyUntil = start + c.cfg.Timing.TRFM
+		b.nextAct = clk.Max(b.nextAct, b.busyUntil)
+		c.Stats.PRACBackoffs++
+		bank.ExecutePRACBackoff()
+		if len(b.queue) > 0 {
+			c.wake(b, b.busyUntil)
+		}
+	})
+}
+
+// AvgReadLatency returns the mean read latency in nanoseconds.
+func (s Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return (clk.Tick(float64(s.ReadLatencySum) / float64(s.Reads))).Nanoseconds()
+}
+
+// AlertPerAct returns the probability that an ACT is declined (Fig 8b).
+func (s Stats) AlertPerAct() float64 {
+	if s.Acts == 0 {
+		return 0
+	}
+	return float64(s.Alerts) / float64(s.Acts)
+}
+
+// RowHitRate returns the fraction of requests served from an open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}

@@ -1,0 +1,73 @@
+// Package power implements a Micron-calculator-style DRAM power model for
+// the Fig 12 analysis: channel power decomposed into the paper's four
+// components — (a) activations and read/write bursts, (b) Other (standby
+// and termination background), (c) Refresh, and (d) Mitig (Rowhammer
+// victim refreshes).
+//
+// The per-event energies are representative DDR5 values chosen to land the
+// component magnitudes produced by the public Micron power calculator for a
+// DDR5 channel; absolute watts track the input rates, and the comparisons
+// the paper draws (Rubix's extra activations, AutoRFM's mitigation energy,
+// energy proportionality at idle) are functions of the activity counts
+// alone.
+package power
+
+import (
+	"autorfm/internal/clk"
+)
+
+// Params holds the per-event energies (joules) and background power (watts).
+type Params struct {
+	EACT        float64 // one activate+precharge (row core energy)
+	ERW         float64 // one 64B read or write burst (column + I/O)
+	EREF        float64 // one all-bank REF command
+	EMIT        float64 // one victim refresh (internal ACT+PRE, no I/O)
+	PBackground float64 // standby + termination
+}
+
+// DDR5Params returns the default channel parameters.
+func DDR5Params() Params {
+	return Params{
+		EACT:        0.15e-9,
+		ERW:         0.35e-9,
+		EREF:        200e-9,
+		EMIT:        0.15e-9,
+		PBackground: 0.25,
+	}
+}
+
+// Activity is the event-count summary of a simulation run.
+type Activity struct {
+	Acts            uint64 // demand activations
+	ColumnOps       uint64 // 64B read + write bursts
+	REFs            uint64 // all-bank REF commands
+	VictimRefreshes uint64 // Rowhammer mitigation refreshes
+	Elapsed         clk.Tick
+}
+
+// Breakdown is the Fig 12 decomposition, in watts.
+type Breakdown struct {
+	ACTRW      float64 // activations + read/write bursts
+	Other      float64 // standby and termination
+	Refresh    float64
+	Mitigation float64
+}
+
+// Total returns the summed channel power.
+func (b Breakdown) Total() float64 {
+	return b.ACTRW + b.Other + b.Refresh + b.Mitigation
+}
+
+// Compute converts activity counts into the power breakdown.
+func Compute(p Params, a Activity) Breakdown {
+	secs := a.Elapsed.Seconds()
+	if secs <= 0 {
+		return Breakdown{Other: p.PBackground}
+	}
+	return Breakdown{
+		ACTRW:      (float64(a.Acts)*p.EACT + float64(a.ColumnOps)*p.ERW) / secs,
+		Other:      p.PBackground,
+		Refresh:    float64(a.REFs) * p.EREF / secs,
+		Mitigation: float64(a.VictimRefreshes) * p.EMIT / secs,
+	}
+}

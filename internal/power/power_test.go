@@ -1,0 +1,101 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"autorfm/internal/clk"
+)
+
+func TestZeroElapsedIsBackgroundOnly(t *testing.T) {
+	b := Compute(DDR5Params(), Activity{})
+	if b.Total() != DDR5Params().PBackground {
+		t.Fatalf("idle total = %v, want background only", b.Total())
+	}
+}
+
+// TestEnergyProportionality reproduces the paper's observation that AutoRFM
+// adds no power when the system is idle: zero activity → mitigation and
+// ACT components are zero.
+func TestEnergyProportionality(t *testing.T) {
+	b := Compute(DDR5Params(), Activity{Elapsed: clk.MS(1)})
+	if b.ACTRW != 0 || b.Mitigation != 0 || b.Refresh != 0 {
+		t.Fatalf("idle run has active-power components: %+v", b)
+	}
+}
+
+func TestComponentsScaleWithRates(t *testing.T) {
+	p := DDR5Params()
+	a := Activity{
+		Acts:            1_000_000,
+		ColumnOps:       1_000_000,
+		REFs:            1000,
+		VictimRefreshes: 500_000,
+		Elapsed:         clk.MS(4),
+	}
+	b := Compute(p, a)
+	// Doubling time halves every active component.
+	a2 := a
+	a2.Elapsed = clk.MS(8)
+	b2 := Compute(p, a2)
+	for _, pair := range [][2]float64{
+		{b.ACTRW, b2.ACTRW}, {b.Refresh, b2.Refresh}, {b.Mitigation, b2.Mitigation},
+	} {
+		if math.Abs(pair[0]-2*pair[1]) > 1e-9 {
+			t.Fatalf("component did not scale with rate: %v vs %v", pair[0], pair[1])
+		}
+	}
+	if b.Other != b2.Other {
+		t.Fatal("background must not scale")
+	}
+}
+
+// TestMitigationOverheadShape checks the Fig 12 relationship: with one
+// mitigation (4 victim refreshes) per 4 demand activations (AutoRFM-4),
+// the mitigation component equals EMIT/EACT of the activation core power.
+func TestMitigationOverheadShape(t *testing.T) {
+	p := DDR5Params()
+	a := Activity{
+		Acts:            4_000_000,
+		VictimRefreshes: 4_000_000, // AutoRFM-4: one 4-refresh mitigation per 4 ACTs
+		Elapsed:         clk.MS(10),
+	}
+	b := Compute(p, a)
+	wantRatio := p.EMIT / p.EACT
+	if got := b.Mitigation / (float64(a.Acts) * p.EACT / a.Elapsed.Seconds()); math.Abs(got-wantRatio) > 1e-9 {
+		t.Fatalf("mitigation/act core ratio = %v, want %v", got, wantRatio)
+	}
+	// AutoRFM-8 halves the mitigation component.
+	a8 := a
+	a8.VictimRefreshes = 2_000_000
+	if b8 := Compute(p, a8); math.Abs(b8.Mitigation-b.Mitigation/2) > 1e-9 {
+		t.Fatal("AutoRFM-8 mitigation power not half of AutoRFM-4")
+	}
+}
+
+// TestRealisticMagnitudes sanity-checks that a Table V-like activity level
+// lands in the right regime: total channel power below ~2W, mitigation
+// overhead at AutoRFM-4 in the tens of milliwatts (paper: 55mW).
+func TestRealisticMagnitudes(t *testing.T) {
+	// 24 ACT/tREFI/bank × 64 banks over 100ms.
+	elapsed := clk.MS(100)
+	trefis := uint64(elapsed / clk.DDR5().TREFI)
+	acts := 24 * 64 * trefis
+	a := Activity{
+		Acts:            acts,
+		ColumnOps:       acts,
+		REFs:            trefis,
+		VictimRefreshes: acts, // AutoRFM-4
+		Elapsed:         elapsed,
+	}
+	b := Compute(DDR5Params(), a)
+	if b.Total() < 0.3 || b.Total() > 2.0 {
+		t.Fatalf("total power %v W out of DDR5-channel range", b.Total())
+	}
+	if b.Mitigation < 0.02 || b.Mitigation > 0.12 {
+		t.Fatalf("AutoRFM-4 mitigation power = %v W, want tens of mW", b.Mitigation)
+	}
+	if b.Refresh < 0.02 || b.Refresh > 0.2 {
+		t.Fatalf("refresh power = %v W out of range", b.Refresh)
+	}
+}

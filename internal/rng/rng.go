@@ -1,0 +1,133 @@
+// Package rng provides the deterministic pseudo-random number generators used
+// by the simulator and by the in-DRAM mitigation hardware models.
+//
+// Everything in the simulation must be reproducible from a seed, so we avoid
+// math/rand's global state and give every component its own generator. The
+// core generator is xoshiro256**, seeded through splitmix64, which is the
+// standard recommendation for simulation workloads.
+//
+// The package also implements the hardware primitive at the heart of Fractal
+// Mitigation (Fig 10b of the paper): drawing a 16-bit random value and
+// counting its leading zeros, which yields a geometrically-decreasing
+// distribution (probability 2^-(k+1) of exactly k leading zeros).
+package rng
+
+import "math/bits"
+
+// Source is a deterministic xoshiro256** pseudo-random generator.
+// The zero value is invalid; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, so that nearby seeds
+// give uncorrelated streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	// A handful of warm-up draws to diffuse low-entropy seeds.
+	for i := 0; i < 8; i++ {
+		src.Uint64()
+	}
+	return &src
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint32 returns 32 uniformly random bits.
+func (r *Source) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Uint16 returns 16 uniformly random bits, the width of the register the
+// paper's Fractal Mitigation hardware samples.
+func (r *Source) Uint16() uint16 { return uint16(r.Uint64() >> 48) }
+
+// Intn returns a uniformly random integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, unbiased.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := bits.Mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Int63n returns a uniformly random int64 in [0, n).
+func (r *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := bits.Mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int64(hi)
+		}
+	}
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (r *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// FractalDistance implements the Fractal Mitigation distance sampler of
+// Fig 10(b): draw a 16-bit random number; the distance of the probabilistic
+// victim-refresh pair is 2 plus the number of leading zeros. Distance 2 has
+// probability 1/2, distance 3 probability 1/4, and so on (2^(1-d)); an
+// all-zero draw (probability 2^-16) maps to the maximum distance 18, which
+// the paper notes receives less than one refresh per 32ms even under
+// continuous hammering.
+func FractalDistance(rand16 uint16) int {
+	return 2 + LeadingZeros16(rand16)
+}
+
+// LeadingZeros16 counts leading zeros in a 16-bit value (16 for zero).
+func LeadingZeros16(v uint16) int { return bits.LeadingZeros16(v) }

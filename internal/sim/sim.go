@@ -1,0 +1,286 @@
+// Package sim assembles the full system of Table IV — eight out-of-order
+// cores, a shared 8MB LLC, and one DDR5 channel with 64 banks — and runs a
+// workload in rate mode (one copy of the workload per core, disjoint
+// address spaces), reporting the statistics the paper's figures are built
+// from: per-core finish times (→ weighted speedup and slowdown), ACT-PKI,
+// per-bank activations per tREFI, ALERT-per-ACT, row-hit rates, and the
+// device-side mitigation counters that feed the power model.
+package sim
+
+import (
+	"fmt"
+
+	"autorfm/internal/cache"
+	"autorfm/internal/clk"
+	"autorfm/internal/cpu"
+	"autorfm/internal/dram"
+	"autorfm/internal/event"
+	"autorfm/internal/mapping"
+	"autorfm/internal/memctrl"
+	"autorfm/internal/mitigation"
+	"autorfm/internal/rng"
+	"autorfm/internal/tracker"
+	"autorfm/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Workload workload.Profile
+	// Cores is the number of rate-mode copies (default 8).
+	Cores int
+	// InstructionsPerCore is each core's retire target (default 1M; the
+	// paper uses 1B — all reported metrics are rates, so shorter
+	// representative slices preserve them).
+	InstructionsPerCore int64
+	// Mode selects the mitigation-time mechanism.
+	Mode dram.Mode
+	// TH is RFMTH (ModeRFM) or AutoRFMTH (ModeAutoRFM).
+	TH int
+	// Mapping is "amd-zen" (default), "rubix", or "page-in-row".
+	Mapping string
+	// Policy is "fractal" (default), "recursive", or "baseline".
+	Policy string
+	// Tracker is "mint" (default), "pride", "parfm", "mithril",
+	// "graphene", or "twice".
+	Tracker string
+	// PRACETh is the ABO threshold for ModePRAC.
+	PRACETh int
+	// RetryWaitNS overrides the ALERT retry wait in nanoseconds (0 = the
+	// default mitigation time of ≈200ns). Used by ablation studies.
+	RetryWaitNS int64
+	// RAAMaxFactor overrides the MC's RAA ceiling multiplier (0 = default
+	// 4; 1 = issue RFM eagerly before the next ACT). Used by ablations.
+	RAAMaxFactor int
+	// PrefetchDegree overrides the LLC stream-prefetch depth (0 = default
+	// 40; negative disables prefetching). Used by ablations.
+	PrefetchDegree int
+	// Seed makes the whole run deterministic.
+	Seed uint64
+	// NewStream, when set, overrides the synthetic workload generator: core
+	// i executes NewStream(i). Used to replay recorded traces
+	// (workload.TraceReader) or custom streams; the Workload profile is then
+	// only used for LLC pre-warming.
+	NewStream func(core int) cpu.Stream
+}
+
+func (c *Config) fillDefaults() {
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.InstructionsPerCore == 0 {
+		c.InstructionsPerCore = 1_000_000
+	}
+	if c.Mapping == "" {
+		c.Mapping = "amd-zen"
+	}
+	if c.Policy == "" {
+		c.Policy = "fractal"
+	}
+	if c.Tracker == "" {
+		c.Tracker = "mint"
+	}
+	if c.TH == 0 {
+		c.TH = 4
+	}
+	if c.PRACETh == 0 {
+		c.PRACETh = 64
+	}
+}
+
+// Result collects everything a run produced.
+type Result struct {
+	Config       Config
+	FinishTimes  []clk.Tick
+	Elapsed      clk.Tick // latest core finish
+	Instructions int64    // total retired across cores
+
+	MC    memctrl.Stats
+	Dev   dram.BankStats
+	Cache cache.Stats
+	Banks int
+}
+
+// Run executes one configuration to completion.
+func Run(cfg Config) (Result, error) {
+	cfg.fillDefaults()
+	geo := mapping.Default()
+	timing := clk.DDR5()
+	if cfg.Mode == dram.ModePRAC {
+		timing = clk.PRAC()
+	}
+
+	mapper, err := mapping.ByName(cfg.Mapping, geo, cfg.Seed^0xa11ce)
+	if err != nil {
+		return Result{}, err
+	}
+
+	dcfg := dram.Config{
+		Geo:     geo,
+		Timing:  timing,
+		Mode:    cfg.Mode,
+		TH:      cfg.TH,
+		PRACETh: cfg.PRACETh,
+		Seed:    cfg.Seed,
+	}
+	dcfg.NewPolicy = func(bank int, r *rng.Source) mitigation.Policy {
+		p, perr := mitigation.ByName(cfg.Policy, r)
+		if perr != nil {
+			panic(perr)
+		}
+		return p
+	}
+	recursive := cfg.Policy == "recursive"
+	th := cfg.TH
+	switch cfg.Tracker {
+	case "mint":
+		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
+			return tracker.NewMINT(th, recursive, r)
+		}
+	case "pride":
+		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
+			return tracker.NewPrIDE(th, 4, r)
+		}
+	case "parfm":
+		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
+			return tracker.NewPARFM(th, r)
+		}
+	case "mithril":
+		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
+			return tracker.NewMithril(1024)
+		}
+	case "graphene":
+		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
+			return tracker.NewGraphene(1024, 64)
+		}
+	case "twice":
+		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
+			return tracker.NewTWiCe(1000)
+		}
+	default:
+		return Result{}, fmt.Errorf("sim: unknown tracker %q", cfg.Tracker)
+	}
+
+	dev := dram.NewDevice(dcfg)
+	q := &event.Queue{}
+	mcCfg := memctrl.Config{Timing: timing, Mapper: mapper, RFMTH: cfg.TH,
+		RAAMaxFactor: cfg.RAAMaxFactor}
+	if cfg.RetryWaitNS > 0 {
+		mcCfg.RetryWait = clk.NS(cfg.RetryWaitNS)
+	}
+	mc := memctrl.New(mcCfg, dev, q)
+	llcCfg := cache.DefaultConfig()
+	if cfg.PrefetchDegree > 0 {
+		llcCfg.PrefetchDegree = cfg.PrefetchDegree
+	} else if cfg.PrefetchDegree < 0 {
+		llcCfg.PrefetchDegree = 0
+	}
+	llc := cache.New(llcCfg, mc, q)
+
+	// Pre-warm the LLC to steady-state occupancy so short slices see the
+	// same capacity-eviction and writeback behaviour as long runs: fill the
+	// cache with lines spread across the cores' footprints, dirty with the
+	// workload's write fraction.
+	{
+		wr := rng.New(cfg.Seed ^ 0x3a3a)
+		llcCfg := cache.DefaultConfig()
+		totalLines := llcCfg.SizeBytes / llcCfg.LineBytes
+		fpLines := uint64(cfg.Workload.FootprintMB) * (1 << 20) / 64
+		for i := 0; i < totalLines; i++ {
+			core := i % cfg.Cores
+			line := uint64(core)*fpLines + uint64(wr.Int63n(int64(fpLines)))
+			llc.Warm(line, wr.Bernoulli(cfg.Workload.WriteFrac))
+		}
+	}
+
+	cores := make([]*cpu.Core, cfg.Cores)
+	for i := range cores {
+		var strm cpu.Stream
+		if cfg.NewStream != nil {
+			strm = cfg.NewStream(i)
+		} else {
+			strm = workload.NewGenerator(cfg.Workload, i, cfg.Seed^0xc0de)
+		}
+		cores[i] = cpu.New(i, cpu.DefaultConfig(cfg.InstructionsPerCore), strm, llc, q)
+		cores[i].Start()
+	}
+
+	allDone := func() bool {
+		for _, c := range cores {
+			if !c.Finished {
+				return false
+			}
+		}
+		return true
+	}
+	q.Run(allDone)
+
+	res := Result{
+		Config:      cfg,
+		FinishTimes: make([]clk.Tick, len(cores)),
+		MC:          mc.Stats,
+		Dev:         dev.TotalStats(),
+		Cache:       llc.Stats,
+		Banks:       geo.Banks,
+	}
+	for i, c := range cores {
+		res.FinishTimes[i] = c.FinishTime
+		res.Instructions += c.Retired()
+		if c.FinishTime > res.Elapsed {
+			res.Elapsed = c.FinishTime
+		}
+	}
+	return res, nil
+}
+
+// MustRun is Run, panicking on configuration errors (for benches/examples
+// with constant configurations).
+func MustRun(cfg Config) Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Throughput is the rate-mode weighted throughput: the sum over cores of
+// inverse finish times. With identical per-core instruction targets this is
+// proportional to weighted speedup.
+func (r Result) Throughput() float64 {
+	s := 0.0
+	for _, t := range r.FinishTimes {
+		if t > 0 {
+			s += 1 / float64(t)
+		}
+	}
+	return s
+}
+
+// ACTPKI returns activations per kilo-instruction, the Table V metric.
+func (r Result) ACTPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.MC.Acts) / float64(r.Instructions) * 1000
+}
+
+// ACTPerTREFI returns per-bank activations per tREFI, the Table V metric.
+func (r Result) ACTPerTREFI() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	trefis := float64(r.Elapsed) / float64(clk.DDR5().TREFI)
+	return float64(r.MC.Acts) / trefis / float64(r.Banks)
+}
+
+// AlertPerAct returns the Fig 8(b) metric.
+func (r Result) AlertPerAct() float64 { return r.MC.AlertPerAct() }
+
+// Slowdown returns the percentage slowdown of test relative to base,
+// computed from weighted throughput (positive = test is slower).
+func Slowdown(base, test Result) float64 {
+	bt, tt := base.Throughput(), test.Throughput()
+	if bt == 0 {
+		return 0
+	}
+	return (1 - tt/bt) * 100
+}

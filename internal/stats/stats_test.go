@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Geomean = %v, want 10", got)
+	}
+	if got := Geomean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Geomean = %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Geomean of zero did not panic")
+		}
+	}()
+	Geomean([]float64{0})
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 30; i++ {
+		h.Add(7)
+	}
+	if h.Total() != 40 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(1) != 10 || h.Count(7) != 30 {
+		t.Error("Count wrong")
+	}
+	if got := h.Fraction(7); got != 0.75 {
+		t.Errorf("Fraction = %v", got)
+	}
+	if h.Max() != 7 {
+		t.Errorf("Max = %d", h.Max())
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Workload", "Slowdown(%)")
+	tb.Add("bwaves", 3.14159)
+	tb.Add("lbm", 12)
+	s := tb.String()
+	if !strings.Contains(s, "bwaves") || !strings.Contains(s, "3.14") {
+		t.Fatalf("table output:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+}

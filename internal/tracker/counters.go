@@ -1,0 +1,170 @@
+package tracker
+
+import "fmt"
+
+// REFAware is implemented by trackers that need the periodic-refresh signal
+// (e.g. TWiCe prunes its table every refresh interval). The DRAM bank model
+// calls OnREF for each REF command it executes.
+type REFAware interface {
+	OnREF()
+}
+
+// Graphene (Park et al., MICRO'20; Section VII-D) is a deterministic
+// counter tracker built on the Misra-Gries frequent-items summary, like
+// Mithril, but it nominates a row as soon as its estimated count crosses a
+// mitigation threshold rather than waiting to be asked for the hottest row.
+// Crossed rows queue until the device receives mitigation time.
+type Graphene struct {
+	entries   int
+	threshold int64
+	counts    map[uint32]int64
+	spill     int64
+	pendingQ  []uint32
+	inQueue   map[uint32]bool
+}
+
+// NewGraphene returns a Graphene tracker with the given entry budget that
+// nominates rows at the given estimated activation count.
+func NewGraphene(entries int, threshold int64) *Graphene {
+	if entries < 1 || threshold < 1 {
+		panic("tracker: invalid Graphene parameters")
+	}
+	return &Graphene{
+		entries:   entries,
+		threshold: threshold,
+		counts:    make(map[uint32]int64, entries),
+		inQueue:   make(map[uint32]bool),
+	}
+}
+
+func (g *Graphene) Name() string {
+	return fmt.Sprintf("graphene-%d@%d", g.entries, g.threshold)
+}
+
+func (g *Graphene) OnActivation(row uint32) {
+	if _, ok := g.counts[row]; ok {
+		g.counts[row]++
+	} else if len(g.counts) < g.entries {
+		g.counts[row] = g.spill + 1
+	} else {
+		g.spill++
+		for r, c := range g.counts {
+			if c <= g.spill {
+				delete(g.counts, r)
+			}
+		}
+		if len(g.counts) < g.entries {
+			g.counts[row] = g.spill + 1
+		}
+	}
+	if c, ok := g.counts[row]; ok && c >= g.threshold && !g.inQueue[row] {
+		g.pendingQ = append(g.pendingQ, row)
+		g.inQueue[row] = true
+	}
+}
+
+func (g *Graphene) SelectForMitigation() Selection {
+	if len(g.pendingQ) == 0 {
+		return Selection{}
+	}
+	row := g.pendingQ[0]
+	g.pendingQ = g.pendingQ[1:]
+	delete(g.inQueue, row)
+	g.counts[row] = g.spill // estimated count resets to the floor
+	return Selection{Row: row, Level: 1, OK: true}
+}
+
+func (g *Graphene) Reset() {
+	g.counts = make(map[uint32]int64, g.entries)
+	g.spill = 0
+	g.pendingQ = nil
+	g.inQueue = make(map[uint32]bool)
+}
+
+// Pending returns the number of rows waiting for mitigation time; exported
+// so tests can check that the queue drains.
+func (g *Graphene) Pending() int { return len(g.pendingQ) }
+
+// TWiCe (Lee et al., ISCA'19; Section VII-D) tracks candidate aggressors in
+// time-window counters: an entry's activation count is compared against a
+// pruning threshold that grows with the entry's age in refresh intervals,
+// so rows that cannot possibly reach the Rowhammer threshold before their
+// victims are refreshed are dropped early, keeping the table small.
+type TWiCe struct {
+	threshold  int64 // Rowhammer threshold the design targets
+	lifeEpochs int64 // refresh intervals in a retention window (tREFW/tREFI)
+	entries    map[uint32]*twiceEntry
+}
+
+type twiceEntry struct {
+	count int64
+	life  int64 // age in REF intervals
+}
+
+// NewTWiCe returns a TWiCe tracker targeting the given Rowhammer threshold.
+func NewTWiCe(threshold int64) *TWiCe {
+	if threshold < 2 {
+		panic("tracker: invalid TWiCe threshold")
+	}
+	return &TWiCe{
+		threshold:  threshold,
+		lifeEpochs: 8192, // REF commands per tREFW in DDR5
+		entries:    make(map[uint32]*twiceEntry),
+	}
+}
+
+func (t *TWiCe) Name() string { return fmt.Sprintf("twice-%d", t.threshold) }
+
+func (t *TWiCe) OnActivation(row uint32) {
+	if e, ok := t.entries[row]; ok {
+		e.count++
+		return
+	}
+	t.entries[row] = &twiceEntry{count: 1}
+}
+
+// OnREF ages every entry and prunes those whose activation rate cannot
+// reach the threshold within the retention window: after k of the L
+// refresh intervals, a row needs at least threshold×k/L activations to
+// stay a candidate.
+func (t *TWiCe) OnREF() {
+	for row, e := range t.entries {
+		e.life++
+		need := t.threshold * e.life / t.lifeEpochs
+		if e.count < need {
+			delete(t.entries, row)
+		}
+	}
+}
+
+// SelectForMitigation nominates the candidate closest to the threshold,
+// removing it from the table (its victims are refreshed, restarting its
+// window).
+func (t *TWiCe) SelectForMitigation() Selection {
+	var best uint32
+	bestCount := int64(-1)
+	for row, e := range t.entries {
+		if e.count > bestCount {
+			best, bestCount = row, e.count
+		}
+	}
+	// Only mitigate rows that have crossed half the threshold — TWiCe
+	// mitigates "twice" before the threshold is reachable.
+	if bestCount < t.threshold/2 {
+		return Selection{}
+	}
+	delete(t.entries, best)
+	return Selection{Row: best, Level: 1, OK: true}
+}
+
+func (t *TWiCe) Reset() { t.entries = make(map[uint32]*twiceEntry) }
+
+// TableSize returns the current number of tracked candidates; exported so
+// tests can verify the pruning keeps the table small.
+func (t *TWiCe) TableSize() int { return len(t.entries) }
+
+var (
+	_ Tracker  = (*Graphene)(nil)
+	_ Tracker  = (*TWiCe)(nil)
+	_ REFAware = (*TWiCe)(nil)
+)

@@ -1,0 +1,149 @@
+package tracker
+
+import "testing"
+
+func TestGrapheneNominatesAtThreshold(t *testing.T) {
+	g := NewGraphene(16, 10)
+	for i := 0; i < 9; i++ {
+		g.OnActivation(5)
+	}
+	if sel := g.SelectForMitigation(); sel.OK {
+		t.Fatal("nominated below threshold")
+	}
+	g.OnActivation(5)
+	sel := g.SelectForMitigation()
+	if !sel.OK || sel.Row != 5 {
+		t.Fatalf("selection = %+v, want row 5", sel)
+	}
+	// Counter reset: another 9 activations must not re-nominate.
+	for i := 0; i < 9; i++ {
+		g.OnActivation(5)
+	}
+	if sel := g.SelectForMitigation(); sel.OK {
+		t.Fatal("re-nominated before re-crossing the threshold")
+	}
+}
+
+func TestGrapheneQueuesMultipleRows(t *testing.T) {
+	g := NewGraphene(16, 5)
+	for i := 0; i < 5; i++ {
+		g.OnActivation(1)
+		g.OnActivation(2)
+	}
+	if g.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", g.Pending())
+	}
+	first := g.SelectForMitigation()
+	second := g.SelectForMitigation()
+	if !first.OK || !second.OK || first.Row == second.Row {
+		t.Fatalf("queue drained wrong: %+v %+v", first, second)
+	}
+	if g.Pending() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestGrapheneNoDuplicateQueueEntries(t *testing.T) {
+	g := NewGraphene(16, 5)
+	for i := 0; i < 20; i++ { // crosses threshold and keeps going
+		g.OnActivation(7)
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (no duplicates)", g.Pending())
+	}
+}
+
+func TestGrapheneSpilloverEviction(t *testing.T) {
+	g := NewGraphene(4, 1000)
+	// Flood with unique rows; the table must not grow beyond its budget.
+	for i := 0; i < 10000; i++ {
+		g.OnActivation(uint32(i))
+	}
+	if len(g.counts) > 4 {
+		t.Fatalf("table grew to %d entries", len(g.counts))
+	}
+}
+
+func TestGrapheneReset(t *testing.T) {
+	g := NewGraphene(8, 3)
+	for i := 0; i < 5; i++ {
+		g.OnActivation(1)
+	}
+	g.Reset()
+	if g.Pending() != 0 {
+		t.Fatal("Reset left pending nominations")
+	}
+	if sel := g.SelectForMitigation(); sel.OK {
+		t.Fatal("Reset left selections")
+	}
+}
+
+func TestTWiCeTracksHotRow(t *testing.T) {
+	tw := NewTWiCe(1000)
+	for i := 0; i < 600; i++ { // past threshold/2
+		tw.OnActivation(42)
+	}
+	sel := tw.SelectForMitigation()
+	if !sel.OK || sel.Row != 42 {
+		t.Fatalf("selection = %+v, want row 42", sel)
+	}
+	// Mitigation removes the entry.
+	if sel := tw.SelectForMitigation(); sel.OK {
+		t.Fatal("mitigated row still tracked")
+	}
+}
+
+func TestTWiCeBelowHalfThresholdNotMitigated(t *testing.T) {
+	tw := NewTWiCe(1000)
+	for i := 0; i < 400; i++ {
+		tw.OnActivation(42)
+	}
+	if sel := tw.SelectForMitigation(); sel.OK {
+		t.Fatal("mitigated a row below threshold/2")
+	}
+}
+
+// TestTWiCePruning: rows activated too slowly to ever reach the threshold
+// are dropped as REFs age them, keeping the table near the set of real
+// candidates — TWiCe's storage argument.
+func TestTWiCePruning(t *testing.T) {
+	tw := NewTWiCe(1000)
+	// 1000 cold rows, one activation each.
+	for i := 0; i < 1000; i++ {
+		tw.OnActivation(uint32(i))
+	}
+	if tw.TableSize() != 1000 {
+		t.Fatalf("TableSize = %d before pruning", tw.TableSize())
+	}
+	// One hot row kept alive past every pruning check.
+	for epoch := 0; epoch < 100; epoch++ {
+		for i := 0; i < 10; i++ {
+			tw.OnActivation(999_999)
+		}
+		tw.OnREF()
+	}
+	if tw.TableSize() > 10 {
+		t.Fatalf("TableSize = %d after 100 REFs, pruning ineffective", tw.TableSize())
+	}
+	if _, ok := tw.entries[999_999]; !ok {
+		t.Fatal("hot row was pruned")
+	}
+}
+
+func TestTWiCeColdRowSurvivesEarlyEpochs(t *testing.T) {
+	tw := NewTWiCe(8192 * 2) // need ≥2 acts per epoch to stay
+	tw.OnActivation(5)
+	tw.OnREF() // need ≥ 2*8192*1/8192 = 2 → pruned (count 1 < 2)
+	if tw.TableSize() != 0 {
+		t.Fatalf("slow row survived aggressive threshold: size %d", tw.TableSize())
+	}
+}
+
+func TestCounterTrackerNames(t *testing.T) {
+	if NewGraphene(16, 100).Name() != "graphene-16@100" {
+		t.Error("Graphene name")
+	}
+	if NewTWiCe(500).Name() != "twice-500" {
+		t.Error("TWiCe name")
+	}
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"autorfm/internal/cpu"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	recs := []cpu.Record{
+		{Gap: 0, Line: 100, Write: false},
+		{Gap: 37, Line: 101, Write: true},
+		{Gap: 1000, Line: 5, DependsPrev: true},
+		{Gap: 0, Line: 1 << 28, Write: true, DependsPrev: true},
+	}
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tw.Count() != uint64(len(recs)) {
+		t.Fatalf("Count = %d", tw.Count())
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, ok := tr.Next()
+		if !ok {
+			t.Fatalf("record %d missing (err %v)", i, tr.Err())
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("trace longer than written")
+	}
+	if tr.Err() != nil {
+		t.Fatalf("clean EOF reported error: %v", tr.Err())
+	}
+}
+
+// Property: any record sequence round-trips exactly.
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(gaps []uint16, lines []uint32, flags []bool) bool {
+		n := len(gaps)
+		if len(lines) < n {
+			n = len(lines)
+		}
+		if n == 0 {
+			return true
+		}
+		var recs []cpu.Record
+		for i := 0; i < n; i++ {
+			rec := cpu.Record{Gap: int(gaps[i]), Line: uint64(lines[i])}
+			if i < len(flags) {
+				rec.Write = flags[i]
+				rec.DependsPrev = !flags[i] && i%3 == 0
+			}
+			if rec.Write {
+				rec.DependsPrev = false // loads only
+			}
+			recs = append(recs, rec)
+		}
+		var buf bytes.Buffer
+		tw, _ := NewTraceWriter(&buf)
+		for _, r := range recs {
+			if tw.Write(r) != nil {
+				return false
+			}
+		}
+		tw.Flush()
+		tr, err := NewTraceReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range recs {
+			got, ok := tr.Next()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := tr.Next()
+		return !ok && tr.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// A sequential trace must encode in a handful of bytes per record.
+	g := NewGenerator(mustProfile(t, "copy"), 0, 1)
+	var buf bytes.Buffer
+	const n = 10_000
+	if err := Capture(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+	// copy alternates between two distant streams, so every other delta is
+	// large; even so the varint encoding stays well under a fixed 17-byte
+	// record.
+	perRec := float64(buf.Len()) / n
+	if perRec > 8 {
+		t.Fatalf("trace uses %.1f bytes/record, want compact encoding", perRec)
+	}
+	// And it must replay identically to a fresh generator.
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGenerator(mustProfile(t, "copy"), 0, 1)
+	for i := 0; i < n; i++ {
+		want, _ := g2.Next()
+		got, ok := tr.Next()
+		if !ok || got != want {
+			t.Fatalf("record %d: got %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewTraceReader(bytes.NewReader([]byte("AR"))); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	// Valid header, truncated record.
+	var buf bytes.Buffer
+	tw, _ := NewTraceWriter(&buf)
+	tw.Write(cpu.Record{Gap: 5, Line: 10})
+	tw.Flush()
+	data := buf.Bytes()[:buf.Len()-1]
+	tr, err := NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+	}
+	if tr.Err() == nil {
+		t.Fatal("truncated record not reported")
+	}
+}
+
+func mustProfile(t *testing.T, name string) Profile {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
