@@ -35,6 +35,7 @@ package autorfm
 import (
 	"autorfm/internal/dram"
 	"autorfm/internal/exp"
+	"autorfm/internal/runner"
 	"autorfm/internal/sim"
 	"autorfm/internal/workload"
 )
@@ -129,3 +130,21 @@ func QuickScale() Scale { return exp.Quick() }
 
 // FullScale is publication-scale experiment effort (minutes per figure).
 func FullScale() Scale { return exp.Full() }
+
+// Pool is the parallel experiment engine: a worker pool that executes
+// simulation jobs concurrently and memoizes results by configuration, so
+// duplicate runs (e.g. each workload's no-mitigation baseline) are
+// simulated once per process. Results are deterministic and independent
+// of the worker count; see internal/runner for the full contract.
+type Pool = runner.Pool
+
+// NewPool returns a pool running at most workers simulations concurrently
+// (0 = all CPUs). Assign it to Scale.Pool to share its result cache across
+// several experiments:
+//
+//	pool := autorfm.NewPool(0)
+//	sc := autorfm.QuickScale()
+//	sc.Pool = pool
+//	fig3, _ := autorfm.ExperimentByID("fig3")
+//	res, err := fig3.Run(sc)
+func NewPool(workers int) *Pool { return runner.New(workers) }

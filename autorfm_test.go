@@ -46,7 +46,10 @@ func TestFacadeExperiments(t *testing.T) {
 	if !ok {
 		t.Fatal("tab3 not found")
 	}
-	res := e.Run(autorfm.QuickScale())
+	res, err := e.Run(autorfm.QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Table == nil || len(res.Table.Rows) == 0 {
 		t.Fatal("tab3 produced no rows")
 	}

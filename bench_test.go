@@ -25,7 +25,10 @@ func benchExperiment(b *testing.B, id string) {
 	sc := autorfm.QuickScale()
 	var res autorfm.ExperimentResult
 	for i := 0; i < b.N; i++ {
-		res = e.Run(sc)
+		var err error
+		if res, err = e.Run(sc); err != nil {
+			b.Fatal(err)
+		}
 	}
 	keys := make([]string, 0, len(res.Summary))
 	for k := range res.Summary {

@@ -1,10 +1,18 @@
 // Command autorfm-bench regenerates the paper's tables and figures.
 //
+// Simulations run on a worker pool (-j, default all CPUs) with a shared
+// result cache, so duplicate configurations across experiments — above all
+// each workload's no-mitigation baseline — are simulated once per
+// invocation. Parallelism never changes the output: for a fixed seed the
+// tables are byte-identical at any -j. Progress (jobs done/total, elapsed,
+// ETA) is reported on stderr while experiments run.
+//
 // Examples:
 //
 //	autorfm-bench -list                 # show available experiments
 //	autorfm-bench -exp fig3             # one experiment at quick scale
 //	autorfm-bench -exp all -scale full  # everything at publication scale
+//	autorfm-bench -exp fig3 -j 1        # serial (same bytes as -j 32)
 //	autorfm-bench -exp fig8 -instr 500000 -workloads bwaves,lbm,mcf
 package main
 
@@ -12,10 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"autorfm"
+	"autorfm/internal/runner"
 )
 
 func main() {
@@ -25,6 +35,8 @@ func main() {
 		instr = flag.Int64("instr", 0, "override instructions per core")
 		wls   = flag.String("workloads", "", "comma-separated workload subset")
 		seed  = flag.Uint64("seed", 1, "seed")
+		jobs  = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		quiet = flag.Bool("quiet", false, "suppress the stderr progress line")
 		list  = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -53,6 +65,25 @@ func main() {
 		sc.Workloads = strings.Split(*wls, ",")
 	}
 	sc.Seed = *seed
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// One pool for the whole invocation: experiments share its result
+	// cache, so e.g. fig1d's Fig3 sweep makes a later fig3 free.
+	pool := runner.New(*jobs)
+	if !*quiet {
+		pool.OnProgress = func(p runner.Progress) {
+			eta := ""
+			if p.ETA > 0 {
+				eta = fmt.Sprintf("  eta %v", p.ETA.Round(time.Second))
+			}
+			fmt.Fprintf(os.Stderr, "\r\033[K[%d/%d jobs  %d cached  %v%s]",
+				p.Done, p.Total, p.CacheHits, p.Elapsed.Round(100*time.Millisecond), eta)
+		}
+	}
+	sc.Pool = pool
 
 	var todo []autorfm.Experiment
 	if *expID == "all" {
@@ -68,8 +99,19 @@ func main() {
 
 	for _, e := range todo {
 		start := time.Now()
-		res := e.Run(sc)
+		res, err := e.Run(sc)
+		if !*quiet {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Println(res)
 		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if hits, misses := pool.CacheStats(); hits > 0 {
+		fmt.Fprintf(os.Stderr, "%d simulations run, %d served from cache (-j %d)\n",
+			misses, hits, pool.Workers())
 	}
 }

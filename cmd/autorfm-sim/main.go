@@ -15,10 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"autorfm"
 	"autorfm/internal/cpu"
 	"autorfm/internal/dram"
+	"autorfm/internal/runner"
 	"autorfm/internal/sim"
 	"autorfm/internal/workload"
 )
@@ -33,6 +36,7 @@ func main() {
 		trk     = flag.String("tracker", "mint", "in-DRAM tracker: mint|pride|parfm|mithril|graphene|twice")
 		instr   = flag.Int64("instr", 300_000, "instructions per core")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
+		jobs    = flag.Int("j", runtime.NumCPU(), "parallel simulation workers (the test and baseline runs overlap)")
 		noBase  = flag.Bool("nobaseline", false, "skip the baseline run (no slowdown reported)")
 		list    = flag.Bool("list", false, "list workloads and exit")
 		record  = flag.String("record", "", "capture the workload's core-0 access stream to this trace file and exit")
@@ -51,7 +55,7 @@ func main() {
 
 	prof, err := autorfm.Workload(*wl)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "%v (valid: %s)\n", err, strings.Join(workload.Names(), ", "))
 		os.Exit(1)
 	}
 
@@ -117,7 +121,23 @@ func main() {
 			return tr
 		}
 	}
-	res := sim.MustRun(scfg)
+	// The mitigated run and (unless suppressed) the no-mitigation baseline
+	// are independent jobs; run both through the worker pool so they
+	// overlap on multicore machines.
+	pool := runner.New(*jobs)
+	todo := []sim.Config{scfg}
+	wantBase := !*noBase && mode != autorfm.None
+	if wantBase {
+		bcfg := scfg
+		bcfg.Mode = dram.ModeNone
+		todo = append(todo, bcfg)
+	}
+	results, err := pool.RunAll(todo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := results[0]
 
 	fmt.Printf("workload      %s (%s)\n", prof.Name, prof.Suite)
 	fmt.Printf("mechanism     %s  TH=%d  mapping=%s  policy=%s  tracker=%s\n",
@@ -139,11 +159,8 @@ func main() {
 		fmt.Printf("ABO back-offs %d\n", res.MC.PRACBackoffs)
 	}
 
-	if !*noBase && mode != autorfm.None {
-		bcfg := scfg
-		bcfg.Mode = dram.ModeNone
-		base := sim.MustRun(bcfg)
+	if wantBase {
 		fmt.Printf("slowdown      %.2f%% vs no-mitigation baseline\n",
-			sim.Slowdown(base, res))
+			sim.Slowdown(results[1], res))
 	}
 }

@@ -24,43 +24,61 @@ import (
 //   - Prefetching: disabling the stream prefetcher removes the page-buddy
 //     timing correlation, which is the mechanism behind the Zen mapping's
 //     elevated ALERT rate.
-func Ablations(sc Scale) Result {
-	profiles := sc.profiles()
+func Ablations(sc Scale) (Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return Result{}, err
+	}
 	if len(profiles) > 6 {
 		sc.Workloads = []string{"bwaves", "lbm", "parest", "mcf", "pagerank", "copy"}
-		profiles = sc.profiles()
+		if profiles, err = sc.profiles(); err != nil {
+			return Result{}, err
+		}
 	}
+	pool := sc.pool()
 	tbl := stats.NewTable("Ablation", "Variant", "Avg slowdown(%)", "Avg ALERT/ACT(%)")
 	summary := map[string]float64{}
 
-	measure := func(mut func(*sim.Config)) (float64, float64) {
-		var sds, als []float64
-		for _, p := range profiles {
-			sd, _, test := runPair(sc, p, mut)
-			sds = append(sds, sd)
+	// Each variant is one job list (baseline + test per workload); the
+	// shared baselines are simulated once thanks to the pool's cache.
+	measure := func(mut func(*sim.Config)) (float64, float64, error) {
+		sds, tests, err := slowdowns(pool, sc, profiles, mut)
+		if err != nil {
+			return 0, 0, err
+		}
+		var als []float64
+		for _, test := range tests {
 			als = append(als, test.AlertPerAct()*100)
 		}
-		return stats.Mean(sds), stats.Mean(als)
+		return stats.Mean(sds), stats.Mean(als), nil
 	}
 
 	// 1. ALERT retry wait (AutoRFM-4, Zen mapping to keep conflicts common).
 	for _, wait := range []int64{200, 400, 800} {
-		sd, al := measure(func(c *sim.Config) {
+		wait := wait
+		sd, al, err := measure(func(c *sim.Config) {
 			c.Mode = dram.ModeAutoRFM
 			c.TH = 4
 			c.RetryWaitNS = wait
 		})
+		if err != nil {
+			return Result{}, err
+		}
 		tbl.Add("retry-wait", fmt.Sprintf("%dns", wait), sd, al)
 		summary[fmt.Sprintf("retry%d_slowdown", wait)] = sd
 	}
 
 	// 2. RFM scheduling: eager vs deferred (RFM-8).
 	for _, f := range []int{1, 4, 8} {
-		sd, _ := measure(func(c *sim.Config) {
+		f := f
+		sd, _, err := measure(func(c *sim.Config) {
 			c.Mode = dram.ModeRFM
 			c.TH = 8
 			c.RAAMaxFactor = f
 		})
+		if err != nil {
+			return Result{}, err
+		}
 		tbl.Add("rfm-schedule", fmt.Sprintf("raamax=%dx", f), sd, 0.0)
 		summary[fmt.Sprintf("raamax%d_slowdown", f)] = sd
 	}
@@ -68,11 +86,14 @@ func Ablations(sc Scale) Result {
 	// 3. Mapping spectrum under AutoRFM-4.
 	for _, m := range []string{"page-in-row", "amd-zen", "rubix"} {
 		m := m
-		sd, al := measure(func(c *sim.Config) {
+		sd, al, err := measure(func(c *sim.Config) {
 			c.Mode = dram.ModeAutoRFM
 			c.TH = 4
 			c.Mapping = m
 		})
+		if err != nil {
+			return Result{}, err
+		}
 		tbl.Add("mapping", m, sd, al)
 		summary["map_"+m+"_alert_pct"] = al
 		summary["map_"+m+"_slowdown"] = sd
@@ -80,18 +101,22 @@ func Ablations(sc Scale) Result {
 
 	// 4. Prefetcher off: the page-buddy correlation disappears.
 	for _, deg := range []int{-1, 0} { // -1 = disabled, 0 = default(40)
+		deg := deg
 		label := "on(40)"
 		if deg < 0 {
 			label = "off"
 		}
-		_, al := measure(func(c *sim.Config) {
+		_, al, err := measure(func(c *sim.Config) {
 			c.Mode = dram.ModeAutoRFM
 			c.TH = 4
 			c.PrefetchDegree = deg
 		})
+		if err != nil {
+			return Result{}, err
+		}
 		tbl.Add("prefetch", label, 0.0, al)
 		summary["prefetch_"+label+"_alert_pct"] = al
 	}
 
-	return Result{ID: "ablate", Title: "Design-choice ablations", Table: tbl, Summary: summary}
+	return Result{ID: "ablate", Title: "Design-choice ablations", Table: tbl, Summary: summary}, nil
 }

@@ -3,13 +3,22 @@
 // from the simulator, the analytic models, the attack harness, and the
 // power model. The cmd/autorfm-bench binary and the repository's top-level
 // benchmarks are thin wrappers around this package.
+//
+// Simulation-driven experiments express their work as a flat list of
+// sim.Config jobs submitted to a runner.Pool (see internal/runner): jobs
+// execute in parallel across the pool's workers, duplicate configurations
+// — most notably the per-workload no-mitigation baseline that almost every
+// figure needs — are simulated once and served from the pool's cache, and
+// results come back in input order so the emitted tables are byte-identical
+// regardless of the worker count.
 package exp
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 
-	"autorfm/internal/dram"
+	"autorfm/internal/runner"
 	"autorfm/internal/sim"
 	"autorfm/internal/stats"
 	"autorfm/internal/workload"
@@ -27,6 +36,15 @@ type Scale struct {
 	AttackActs uint64
 	// Seed drives all randomness.
 	Seed uint64
+	// Jobs is the worker-pool size for simulations (0 = all CPUs).
+	// Parallelism never changes results: tables are byte-identical at
+	// any Jobs value for a fixed seed.
+	Jobs int
+	// Pool, when set, is the runner the experiment submits its jobs to,
+	// overriding Jobs. Passing one pool to several experiments shares
+	// its result cache across them, so e.g. the per-workload baselines
+	// computed by Fig3 are reused by Table5, Fig8, Fig11, …
+	Pool *runner.Pool
 }
 
 // Quick returns the default scale used by `go test -bench`: every workload,
@@ -40,9 +58,18 @@ func Full() Scale {
 	return Scale{Instructions: 1_000_000, AttackActs: 20_000_000, Seed: 1}
 }
 
-func (sc Scale) profiles() []workload.Profile {
+// Validate checks that every requested workload exists, returning an error
+// that lists the valid names otherwise.
+func (sc Scale) Validate() error {
+	_, err := sc.profiles()
+	return err
+}
+
+// profiles resolves the scale's workload subset (all 21 when unset). An
+// unknown name yields an error naming the valid workloads.
+func (sc Scale) profiles() ([]workload.Profile, error) {
 	if sc.Workloads == nil {
-		return workload.Profiles()
+		return workload.Profiles(), nil
 	}
 	var out []workload.Profile
 	for _, name := range sc.Workloads {
@@ -51,11 +78,41 @@ func (sc Scale) profiles() []workload.Profile {
 		}
 		p, err := workload.ByName(name)
 		if err != nil {
-			panic(err)
+			all := workload.Profiles()
+			names := make([]string, len(all))
+			for i, q := range all {
+				names[i] = q.Name
+			}
+			return nil, fmt.Errorf("exp: unknown workload %q (valid: %s)",
+				name, strings.Join(names, ", "))
 		}
 		out = append(out, p)
 	}
-	return out
+	return out, nil
+}
+
+// pool returns the runner the experiment should submit jobs to: the shared
+// one if the caller provided it, otherwise a fresh pool with sc.Jobs
+// workers.
+func (sc Scale) pool() *runner.Pool {
+	if sc.Pool != nil {
+		return sc.Pool
+	}
+	return runner.New(sc.Jobs)
+}
+
+// simCfg builds the simulation config for one profile at this scale, with
+// optional mutations applied (no mutation = the no-mitigation baseline).
+func (sc Scale) simCfg(p workload.Profile, muts ...func(*sim.Config)) sim.Config {
+	cfg := sim.Config{
+		Workload:            p,
+		InstructionsPerCore: sc.Instructions,
+		Seed:                sc.Seed,
+	}
+	for _, mut := range muts {
+		mut(&cfg)
+	}
+	return cfg
 }
 
 // Result is one regenerated table or figure.
@@ -86,11 +143,13 @@ func (r Result) String() string {
 	return s
 }
 
-// Experiment is one registered table/figure generator.
+// Experiment is one registered table/figure generator. Run returns an
+// error only for invalid scales (unknown workload names) or simulator
+// configuration errors; it never panics on bad input.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(sc Scale) Result
+	Run   func(sc Scale) (Result, error)
 }
 
 // All returns the registered experiments in paper order.
@@ -124,21 +183,25 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// runPair runs a workload under base (no mitigation, Zen mapping) and the
-// mutated config, returning the slowdown and the test run.
-func runPair(sc Scale, p workload.Profile, mut func(*sim.Config)) (float64, sim.Result, sim.Result) {
-	base := sim.MustRun(sim.Config{
-		Workload:            p,
-		InstructionsPerCore: sc.Instructions,
-		Mode:                dram.ModeNone,
-		Seed:                sc.Seed,
-	})
-	cfg := sim.Config{
-		Workload:            p,
-		InstructionsPerCore: sc.Instructions,
-		Seed:                sc.Seed,
+// slowdowns submits, for each profile, the no-mitigation baseline and the
+// mutated config as one job list and returns the per-profile slowdowns and
+// test results in profile order. The pool's cache deduplicates the
+// baselines across calls.
+func slowdowns(pool *runner.Pool, sc Scale, profiles []workload.Profile, mut func(*sim.Config)) ([]float64, []sim.Result, error) {
+	jobs := make([]sim.Config, 0, 2*len(profiles))
+	for _, p := range profiles {
+		jobs = append(jobs, sc.simCfg(p), sc.simCfg(p, mut))
 	}
-	mut(&cfg)
-	test := sim.MustRun(cfg)
-	return sim.Slowdown(base, test), base, test
+	res, err := pool.RunAll(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	sds := make([]float64, len(profiles))
+	tests := make([]sim.Result, len(profiles))
+	for i := range profiles {
+		base, test := res[2*i], res[2*i+1]
+		sds[i] = sim.Slowdown(base, test)
+		tests[i] = test
+	}
+	return sds, tests, nil
 }

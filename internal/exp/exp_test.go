@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"autorfm/internal/runner"
 )
 
 // tinyScale keeps the per-test cost low: a cross-suite subset of workloads
@@ -44,7 +46,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	r := Fig3(tinyScale())
+	r := run(t, Fig3, tinyScale())
 	if len(r.Table.Rows) != 5 { // 4 workloads + AVERAGE
 		t.Fatalf("rows = %d", len(r.Table.Rows))
 	}
@@ -59,7 +61,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestTable3Analytic(t *testing.T) {
-	r := Table3(Scale{})
+	r := run(t, Table3, Scale{})
 	for w, paper := range map[int]float64{4: 96, 8: 182, 16: 356, 32: 702} {
 		got := r.Summary[keyf("trhd_w%d", w)]
 		if got < paper*0.9 || got > paper*1.1 {
@@ -69,7 +71,7 @@ func TestTable3Analytic(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	r := Fig8(tinyScale())
+	r := run(t, Fig8, tinyScale())
 	if r.Summary["zen_alert_per_act_pct"] <= r.Summary["rubix_alert_per_act_pct"] {
 		t.Fatal("Zen mapping did not have more alerts than Rubix")
 	}
@@ -79,7 +81,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
-	r := Fig11(tinyScale())
+	r := run(t, Fig11, tinyScale())
 	if r.Summary["autorfm4_avg_pct"] >= r.Summary["rfm4_avg_pct"] {
 		t.Fatal("AutoRFM-4 not better than RFM-4")
 	}
@@ -89,7 +91,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	r := Fig12(tinyScale())
+	r := run(t, Fig12, tinyScale())
 	if r.Summary["autorfm4_overhead_mw"] <= r.Summary["autorfm8_overhead_mw"] {
 		t.Fatal("AutoRFM-4 power overhead not above AutoRFM-8")
 	}
@@ -102,7 +104,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig14Monotone(t *testing.T) {
-	r := Fig14(Scale{})
+	r := run(t, Fig14, Scale{})
 	if r.Summary["fm_w4"] >= r.Summary["rm_w4"] {
 		t.Fatal("FM threshold not below RM at w=4")
 	}
@@ -112,7 +114,7 @@ func TestFig14Monotone(t *testing.T) {
 }
 
 func TestFig16Summary(t *testing.T) {
-	r := Fig16(Scale{})
+	r := run(t, Fig16, Scale{})
 	if got := r.Summary["fm_min_safe_trhd"]; got < 50 || got > 54 {
 		t.Fatalf("fm_min_safe_trhd = %.1f, want ≈52", got)
 	}
@@ -122,7 +124,7 @@ func TestFig16Summary(t *testing.T) {
 }
 
 func TestFig18Ordering(t *testing.T) {
-	r := Fig18(Scale{AttackActs: 500_000, Seed: 1})
+	r := run(t, Fig18, Scale{AttackActs: 500_000, Seed: 1})
 	if r.Summary["mint_th4"] > r.Summary["pride_th4"]*1.02 {
 		t.Fatalf("MINT TRH-D %.0f above PrIDE %.0f", r.Summary["mint_th4"], r.Summary["pride_th4"])
 	}
@@ -136,7 +138,7 @@ func TestFig18Ordering(t *testing.T) {
 }
 
 func TestAppBAudit(t *testing.T) {
-	r := AppB(Scale{AttackActs: 400_000, Seed: 1})
+	r := run(t, AppB, Scale{AttackActs: 400_000, Seed: 1})
 	if r.Summary["baseline_half-double_failures"] == 0 {
 		t.Fatal("baseline policy survived Half-Double in audit")
 	}
@@ -149,7 +151,7 @@ func TestAppBAudit(t *testing.T) {
 }
 
 func TestResultString(t *testing.T) {
-	r := Table3(Scale{})
+	r := run(t, Table3, Scale{})
 	s := r.String()
 	if !strings.Contains(s, "tab3") || !strings.Contains(s, "Window") {
 		t.Fatalf("render:\n%s", s)
@@ -162,7 +164,7 @@ func keyf(format string, args ...interface{}) string {
 
 func TestAblationsShape(t *testing.T) {
 	sc := tinyScale()
-	r := Ablations(sc)
+	r := run(t, Ablations, sc)
 	// Longer retry waits must hurt more.
 	if r.Summary["retry200_slowdown"] >= r.Summary["retry800_slowdown"] {
 		t.Fatal("retry-wait ablation not monotone")
@@ -193,7 +195,7 @@ func microScale() Scale {
 }
 
 func TestTable5Reports(t *testing.T) {
-	r := Table5(microScale())
+	r := run(t, Table5, microScale())
 	if len(r.Table.Rows) != 2 {
 		t.Fatalf("rows = %d", len(r.Table.Rows))
 	}
@@ -204,7 +206,7 @@ func TestTable5Reports(t *testing.T) {
 }
 
 func TestFig1dPairsThresholdsWithSlowdowns(t *testing.T) {
-	r := Fig1d(microScale())
+	r := run(t, Fig1d, microScale())
 	if r.Summary["trhd_rfm4"] >= r.Summary["trhd_rfm32"] {
 		t.Fatal("threshold not increasing with RFMTH")
 	}
@@ -214,7 +216,7 @@ func TestFig1dPairsThresholdsWithSlowdowns(t *testing.T) {
 }
 
 func TestTable6Shape(t *testing.T) {
-	r := Table6(microScale())
+	r := run(t, Table6, microScale())
 	for _, th := range []int{4, 5, 6, 8} {
 		fm := r.Summary[keyf("autorfm%d_trhd_fm", th)]
 		rm := r.Summary[keyf("autorfm%d_trhd_rm", th)]
@@ -228,7 +230,7 @@ func TestTable6Shape(t *testing.T) {
 }
 
 func TestFig13Crossovers(t *testing.T) {
-	r := Fig13(microScale())
+	r := run(t, Fig13, microScale())
 	// RFM must blow up at low thresholds and approach zero at high ones.
 	if r.Summary["rfm_at_100"] <= r.Summary["rfm_at_702"] {
 		t.Fatal("RFM curve not decreasing with threshold")
@@ -246,7 +248,7 @@ func TestFig13Crossovers(t *testing.T) {
 }
 
 func TestFig17RubixWorseForRFM(t *testing.T) {
-	r := Fig17(microScale())
+	r := run(t, Fig17, microScale())
 	if r.Summary["rubix_rfm4_pct"] <= r.Summary["zen_rfm4_pct"] {
 		t.Fatalf("RFM-4 on Rubix (%.1f%%) not worse than on Zen (%.1f%%)",
 			r.Summary["rubix_rfm4_pct"], r.Summary["zen_rfm4_pct"])
@@ -257,12 +259,83 @@ func TestFig17RubixWorseForRFM(t *testing.T) {
 }
 
 func TestFig18MithrilAudit(t *testing.T) {
-	r := Fig18(Scale{AttackActs: 400_000, Seed: 2})
+	r := run(t, Fig18, Scale{AttackActs: 400_000, Seed: 2})
 	// The audit must report a meaningful (non-trivial) max-activation count
 	// that grows with the mitigation interval.
 	m4 := r.Summary["mithril_maxacts_th4"]
 	m8 := r.Summary["mithril_maxacts_th8"]
 	if m4 < 4 || m8 <= m4 {
 		t.Fatalf("mithril audit: th4=%v th8=%v", m4, m8)
+	}
+}
+
+// run executes an experiment generator, failing the test on error.
+func run(t *testing.T, f func(Scale) (Result, error), sc Scale) Result {
+	t.Helper()
+	r, err := f(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestUnknownWorkloadIsError: a bad workload name must surface as an error
+// naming the valid workloads, not as a panic.
+func TestUnknownWorkloadIsError(t *testing.T) {
+	sc := tinyScale()
+	sc.Workloads = append(sc.Workloads, "nope")
+	err := sc.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted unknown workload")
+	}
+	if !strings.Contains(err.Error(), `"nope"`) || !strings.Contains(err.Error(), "bwaves") {
+		t.Fatalf("error does not name the offender and the valid workloads: %v", err)
+	}
+	if _, err := Fig3(sc); err == nil {
+		t.Fatal("Fig3 accepted unknown workload")
+	}
+	if _, err := Ablations(sc); err == nil {
+		t.Fatal("Ablations accepted unknown workload")
+	}
+}
+
+// TestSerialParallelIdentical is the engine's determinism gate: the same
+// experiment run through a 1-worker pool (serial) and an 8-worker pool
+// must render byte-identical tables and summaries. CI runs this under
+// -race, which additionally proves no shared mutable state leaks across
+// concurrently executing simulations.
+func TestSerialParallelIdentical(t *testing.T) {
+	for _, id := range []string{"fig3", "tab6", "fig17"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		serial, parallel := microScale(), microScale()
+		serial.Jobs = 1
+		parallel.Jobs = 8
+		a := run(t, e.Run, serial)
+		b := run(t, e.Run, parallel)
+		if a.String() != b.String() {
+			t.Errorf("%s: -j 1 and -j 8 outputs differ:\n--- serial ---\n%s--- parallel ---\n%s",
+				id, a, b)
+		}
+	}
+}
+
+// TestSharedPoolCachesAcrossExperiments: experiments handed the same pool
+// must reuse each other's simulations (here: Table5's per-workload
+// baselines were all already run by Fig3).
+func TestSharedPoolCachesAcrossExperiments(t *testing.T) {
+	sc := microScale()
+	sc.Pool = runner.New(2)
+	run(t, Fig3, sc)
+	_, missesBefore := sc.Pool.CacheStats()
+	run(t, Table5, sc)
+	hits, misses := sc.Pool.CacheStats()
+	if misses != missesBefore {
+		t.Errorf("Table5 re-simulated %d cached baselines", misses-missesBefore)
+	}
+	if hits == 0 {
+		t.Error("shared pool recorded no cache hits")
 	}
 }

@@ -12,19 +12,38 @@ import (
 
 // Fig3 regenerates Figure 3: per-workload slowdown of RFM-4/8/16/32 over
 // the no-mitigation baseline (paper averages: 33%, 12.9%, 4.4%, 0.2%).
-func Fig3(sc Scale) Result {
+func Fig3(sc Scale) (Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return Result{}, err
+	}
 	ths := []int{4, 8, 16, 32}
+
+	// One job list: [base, rfm4, rfm8, rfm16, rfm32] per workload.
+	stride := 1 + len(ths)
+	var jobs []sim.Config
+	for _, p := range profiles {
+		jobs = append(jobs, sc.simCfg(p))
+		for _, th := range ths {
+			th := th
+			jobs = append(jobs, sc.simCfg(p, func(c *sim.Config) {
+				c.Mode = dram.ModeRFM
+				c.TH = th
+			}))
+		}
+	}
+	res, err := sc.pool().RunAll(jobs)
+	if err != nil {
+		return Result{}, err
+	}
+
 	tbl := stats.NewTable("Workload", "RFM-4(%)", "RFM-8(%)", "RFM-16(%)", "RFM-32(%)")
 	sums := make([][]float64, len(ths))
-	for _, p := range sc.profiles() {
-		base := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed})
+	for wi, p := range profiles {
+		base := res[wi*stride]
 		row := []interface{}{p.Name}
-		for i, th := range ths {
-			r := sim.MustRun(sim.Config{
-				Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
-				Mode: dram.ModeRFM, TH: th,
-			})
-			sd := sim.Slowdown(base, r)
+		for i := range ths {
+			sd := sim.Slowdown(base, res[wi*stride+1+i])
 			sums[i] = append(sums[i], sd)
 			row = append(row, sd)
 		}
@@ -38,15 +57,18 @@ func Fig3(sc Scale) Result {
 		summary[fmt.Sprintf("rfm%d_avg_slowdown_pct", th)] = m
 	}
 	tbl.Add(avgRow...)
-	return Result{ID: "fig3", Title: "Performance impact of RFM", Table: tbl, Summary: summary}
+	return Result{ID: "fig3", Title: "Performance impact of RFM", Table: tbl, Summary: summary}, nil
 }
 
 // Fig1d regenerates Figure 1(d): the average RFM slowdown paired with the
 // threshold each RFMTH tolerates (Table III), i.e. the cost of scaling RFM
 // down the threshold curve.
-func Fig1d(sc Scale) Result {
+func Fig1d(sc Scale) (Result, error) {
 	tm := clk.DDR5()
-	fig3 := Fig3(sc)
+	fig3, err := Fig3(sc)
+	if err != nil {
+		return Result{}, err
+	}
 	tbl := stats.NewTable("RFMTH", "Tolerated TRH-D", "Avg slowdown(%)")
 	summary := map[string]float64{}
 	for _, th := range []int{32, 16, 8, 4} {
@@ -56,16 +78,28 @@ func Fig1d(sc Scale) Result {
 		summary[fmt.Sprintf("trhd_rfm%d", th)] = trhd
 		summary[fmt.Sprintf("slowdown_rfm%d", th)] = sd
 	}
-	return Result{ID: "fig1d", Title: "RFM slowdown vs tolerated threshold", Table: tbl, Summary: summary}
+	return Result{ID: "fig1d", Title: "RFM slowdown vs tolerated threshold", Table: tbl, Summary: summary}, nil
 }
 
 // Table5 regenerates Table V: measured ACT-PKI and per-bank ACT-per-tREFI
 // for every workload, against the published values.
-func Table5(sc Scale) Result {
+func Table5(sc Scale) (Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return Result{}, err
+	}
+	jobs := make([]sim.Config, len(profiles))
+	for i, p := range profiles {
+		jobs[i] = sc.simCfg(p)
+	}
+	res, err := sc.pool().RunAll(jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	tbl := stats.NewTable("Workload", "Suite", "ACT-PKI", "paper", "ACT/tREFI", "paper")
 	var pkiErr, trefiErr []float64
-	for _, p := range sc.profiles() {
-		r := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed})
+	for i, p := range profiles {
+		r := res[i]
 		tbl.Add(p.Name, p.Suite, r.ACTPKI(), p.TargetACTPKI, r.ACTPerTREFI(), p.TargetACTPerTREFI)
 		pkiErr = append(pkiErr, abs(r.ACTPKI()-p.TargetACTPKI)/p.TargetACTPKI*100)
 		trefiErr = append(trefiErr, abs(r.ACTPerTREFI()-p.TargetACTPerTREFI)/p.TargetACTPerTREFI*100)
@@ -74,26 +108,42 @@ func Table5(sc Scale) Result {
 		Summary: map[string]float64{
 			"mean_actpki_error_pct":   stats.Mean(pkiErr),
 			"mean_acttrefi_error_pct": stats.Mean(trefiErr),
-		}}
+		}}, nil
 }
 
 // Fig8 regenerates Figure 8: AutoRFM-4 slowdown (a) and ALERT-per-ACT (b)
 // under the baseline AMD-Zen mapping and under Rubix randomised mapping
 // (paper averages: 16.5%→3.1% slowdown, 3.7%→0.22% alerts).
-func Fig8(sc Scale) Result {
+func Fig8(sc Scale) (Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return Result{}, err
+	}
+	// Job list: [base, zen, rubix] per workload.
+	var jobs []sim.Config
+	for _, p := range profiles {
+		jobs = append(jobs,
+			sc.simCfg(p),
+			sc.simCfg(p, func(c *sim.Config) {
+				c.Mode = dram.ModeAutoRFM
+				c.TH = 4
+				c.Mapping = "amd-zen"
+			}),
+			sc.simCfg(p, func(c *sim.Config) {
+				c.Mode = dram.ModeAutoRFM
+				c.TH = 4
+				c.Mapping = "rubix"
+			}))
+	}
+	res, err := sc.pool().RunAll(jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	tbl := stats.NewTable("Workload", "Zen slow(%)", "Zen ALERT/ACT(%)",
 		"Rubix slow(%)", "Rubix ALERT/ACT(%)")
 	var zenSD, zenAL, rbxSD, rbxAL []float64
-	for _, p := range sc.profiles() {
-		base := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed})
-		zen := sim.MustRun(sim.Config{
-			Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
-			Mode: dram.ModeAutoRFM, TH: 4, Mapping: "amd-zen",
-		})
-		rbx := sim.MustRun(sim.Config{
-			Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
-			Mode: dram.ModeAutoRFM, TH: 4, Mapping: "rubix",
-		})
+	for i, p := range profiles {
+		base, zen, rbx := res[3*i], res[3*i+1], res[3*i+2]
 		zs, rs := sim.Slowdown(base, zen), sim.Slowdown(base, rbx)
 		za, ra := zen.AlertPerAct()*100, rbx.AlertPerAct()*100
 		tbl.Add(p.Name, zs, za, rs, ra)
@@ -107,27 +157,49 @@ func Fig8(sc Scale) Result {
 			"zen_alert_per_act_pct":   stats.Mean(zenAL),
 			"rubix_avg_slowdown_pct":  stats.Mean(rbxSD),
 			"rubix_alert_per_act_pct": stats.Mean(rbxAL),
-		}}
+		}}, nil
 }
 
 // Fig11 regenerates Figure 11: per-workload slowdown of RFM-4/8 (blocking)
 // versus AutoRFM-4/8 (transparent, with Rubix mapping and Fractal
 // Mitigation), all over the Zen no-mitigation baseline.
-func Fig11(sc Scale) Result {
+func Fig11(sc Scale) (Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return Result{}, err
+	}
+	ths := []int{4, 8}
+	// Job list: [base, rfm4, auto4, rfm8, auto8] per workload.
+	stride := 1 + 2*len(ths)
+	var jobs []sim.Config
+	for _, p := range profiles {
+		jobs = append(jobs, sc.simCfg(p))
+		for _, th := range ths {
+			th := th
+			jobs = append(jobs,
+				sc.simCfg(p, func(c *sim.Config) {
+					c.Mode = dram.ModeRFM
+					c.TH = th
+				}),
+				sc.simCfg(p, func(c *sim.Config) {
+					c.Mode = dram.ModeAutoRFM
+					c.TH = th
+					c.Mapping = "rubix"
+				}))
+		}
+	}
+	res, err := sc.pool().RunAll(jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	tbl := stats.NewTable("Workload", "RFM-4(%)", "AutoRFM-4(%)", "RFM-8(%)", "AutoRFM-8(%)")
 	cols := map[string][]float64{}
-	for _, p := range sc.profiles() {
-		base := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed})
+	for wi, p := range profiles {
+		base := res[wi*stride]
 		vals := []interface{}{p.Name}
-		for _, th := range []int{4, 8} {
-			rfm := sim.MustRun(sim.Config{
-				Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
-				Mode: dram.ModeRFM, TH: th,
-			})
-			auto := sim.MustRun(sim.Config{
-				Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
-				Mode: dram.ModeAutoRFM, TH: th, Mapping: "rubix",
-			})
+		for ti, th := range ths {
+			rfm := res[wi*stride+1+2*ti]
+			auto := res[wi*stride+2+2*ti]
 			rs, as := sim.Slowdown(base, rfm), sim.Slowdown(base, auto)
 			vals = append(vals, rs, as)
 			cols[fmt.Sprintf("rfm%d", th)] = append(cols[fmt.Sprintf("rfm%d", th)], rs)
@@ -143,25 +215,43 @@ func Fig11(sc Scale) Result {
 			"autorfm4_avg_pct": stats.Mean(cols["auto4"]),
 			"rfm8_avg_pct":     stats.Mean(cols["rfm8"]),
 			"autorfm8_avg_pct": stats.Mean(cols["auto8"]),
-		}}
+		}}, nil
 }
 
 // Table6 regenerates Table VI: average AutoRFM slowdown (Rubix + FM) and
 // the analytic TRH-D of recursive vs fractal mitigation for AutoRFMTH of
 // 4, 5, 6 and 8.
-func Table6(sc Scale) Result {
+func Table6(sc Scale) (Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return Result{}, err
+	}
 	tm := clk.DDR5()
-	tbl := stats.NewTable("AutoRFMTH", "Slowdown(%)", "Recursive TRH-D", "Fractal TRH-D")
-	summary := map[string]float64{}
-	for _, th := range []int{4, 5, 6, 8} {
-		var sds []float64
-		for _, p := range sc.profiles() {
-			sd, _, _ := runPair(sc, p, func(c *sim.Config) {
+	ths := []int{4, 5, 6, 8}
+	// One job list across all thresholds: [base, auto-th] per (th, workload);
+	// the cache collapses the repeated baselines to one run each.
+	var jobs []sim.Config
+	for _, th := range ths {
+		th := th
+		for _, p := range profiles {
+			jobs = append(jobs, sc.simCfg(p), sc.simCfg(p, func(c *sim.Config) {
 				c.Mode = dram.ModeAutoRFM
 				c.TH = th
 				c.Mapping = "rubix"
-			})
-			sds = append(sds, sd)
+			}))
+		}
+	}
+	res, err := sc.pool().RunAll(jobs)
+	if err != nil {
+		return Result{}, err
+	}
+	tbl := stats.NewTable("AutoRFMTH", "Slowdown(%)", "Recursive TRH-D", "Fractal TRH-D")
+	summary := map[string]float64{}
+	for ti, th := range ths {
+		var sds []float64
+		for wi := range profiles {
+			i := 2 * (ti*len(profiles) + wi)
+			sds = append(sds, sim.Slowdown(res[i], res[i+1]))
 		}
 		_, rm := analytic.MINTThreshold(th, true, tm, analytic.MTTFTarget)
 		_, fm := analytic.MINTThreshold(th, false, tm, analytic.MTTFTarget)
@@ -171,34 +261,38 @@ func Table6(sc Scale) Result {
 		summary[fmt.Sprintf("autorfm%d_trhd_fm", th)] = fm
 		summary[fmt.Sprintf("autorfm%d_trhd_rm", th)] = rm
 	}
-	return Result{ID: "tab6", Title: "Slowdown and tolerated threshold", Table: tbl, Summary: summary}
+	return Result{ID: "tab6", Title: "Slowdown and tolerated threshold", Table: tbl, Summary: summary}, nil
 }
 
 // Fig13 regenerates Figure 13: average slowdown of PRAC+ABO, RFM, and
 // AutoRFM as the tolerated threshold is varied. For each threshold the
 // mitigation interval is derived from the analytic model; RFM points below
 // its reachable range are omitted (the paper's RFM curve stops near 180).
-func Fig13(sc Scale) Result {
+func Fig13(sc Scale) (Result, error) {
 	tm := clk.DDR5()
-	profiles := sc.profiles()
+	profiles, err := sc.profiles()
+	if err != nil {
+		return Result{}, err
+	}
 	// The sweep is expensive (3 mechanisms × 7 thresholds × workloads); a
 	// representative cross-suite subset keeps it tractable at quick scale.
 	if len(profiles) > 7 {
-		sub := []string{"bwaves", "lbm", "mcf", "omnetpp", "pagerank", "bfs", "copy"}
-		sc.Workloads = sub
-		profiles = sc.profiles()
+		sc.Workloads = []string{"bwaves", "lbm", "mcf", "omnetpp", "pagerank", "bfs", "copy"}
+		if profiles, err = sc.profiles(); err != nil {
+			return Result{}, err
+		}
 	}
+	pool := sc.pool()
 	thresholds := []float64{74, 100, 161, 250, 356, 500, 702}
 	tbl := stats.NewTable("TRH-D", "PRAC(%)", "RFM(%)", "AutoRFM(%)")
 	summary := map[string]float64{}
 
-	avg := func(mut func(*sim.Config)) float64 {
-		var sds []float64
-		for _, p := range profiles {
-			sd, _, _ := runPair(sc, p, mut)
-			sds = append(sds, sd)
+	avg := func(mut func(*sim.Config)) (float64, error) {
+		sds, _, err := slowdowns(pool, sc, profiles, mut)
+		if err != nil {
+			return 0, err
 		}
-		return stats.Mean(sds)
+		return stats.Mean(sds), nil
 	}
 
 	for _, trhd := range thresholds {
@@ -208,13 +302,19 @@ func Fig13(sc Scale) Result {
 		if eth < 8 {
 			eth = 8
 		}
-		prac := avg(func(c *sim.Config) { c.Mode = dram.ModePRAC; c.PRACETh = eth })
+		prac, err := avg(func(c *sim.Config) { c.Mode = dram.ModePRAC; c.PRACETh = eth })
+		if err != nil {
+			return Result{}, err
+		}
 		row = append(row, prac)
 
 		// RFM: the largest window whose recursive-mitigation threshold is
 		// still below trhd.
 		if w := analytic.WindowForThreshold(trhd, true, tm, analytic.MTTFTarget); w >= 2 {
-			rfm := avg(func(c *sim.Config) { c.Mode = dram.ModeRFM; c.TH = w })
+			rfm, err := avg(func(c *sim.Config) { c.Mode = dram.ModeRFM; c.TH = w })
+			if err != nil {
+				return Result{}, err
+			}
 			row = append(row, rfm)
 			summary[fmt.Sprintf("rfm_at_%0.f", trhd)] = rfm
 		} else {
@@ -223,11 +323,14 @@ func Fig13(sc Scale) Result {
 
 		// AutoRFM with Rubix + FM.
 		if w := analytic.WindowForThreshold(trhd, false, tm, analytic.MTTFTarget); w >= 2 {
-			auto := avg(func(c *sim.Config) {
+			auto, err := avg(func(c *sim.Config) {
 				c.Mode = dram.ModeAutoRFM
 				c.TH = w
 				c.Mapping = "rubix"
 			})
+			if err != nil {
+				return Result{}, err
+			}
 			row = append(row, auto)
 			summary[fmt.Sprintf("autorfm_at_%0.f", trhd)] = auto
 		} else {
@@ -236,25 +339,46 @@ func Fig13(sc Scale) Result {
 		summary[fmt.Sprintf("prac_at_%0.f", trhd)] = prac
 		tbl.Add(row...)
 	}
-	return Result{ID: "fig13", Title: "PRAC vs RFM vs AutoRFM across thresholds", Table: tbl, Summary: summary}
+	return Result{ID: "fig13", Title: "PRAC vs RFM vs AutoRFM across thresholds", Table: tbl, Summary: summary}, nil
 }
 
 // Fig17 regenerates Appendix C / Figure 17: the average slowdown of RFM on
 // a Zen-mapped system versus a Rubix-mapped system, each normalised to its
 // own no-RFM baseline. Rubix's extra activations make RFM slightly worse.
-func Fig17(sc Scale) Result {
+func Fig17(sc Scale) (Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return Result{}, err
+	}
+	ths := []int{4, 8}
+	// Job list: [zenBase, zenRFM, rubixBase, rubixRFM] per (th, workload);
+	// the two baselines repeat across ths and are served from the cache.
+	var jobs []sim.Config
+	for _, th := range ths {
+		th := th
+		for _, p := range profiles {
+			jobs = append(jobs,
+				sc.simCfg(p),
+				sc.simCfg(p, func(c *sim.Config) { c.Mode = dram.ModeRFM; c.TH = th }),
+				sc.simCfg(p, func(c *sim.Config) { c.Mapping = "rubix" }),
+				sc.simCfg(p, func(c *sim.Config) {
+					c.Mode = dram.ModeRFM
+					c.TH = th
+					c.Mapping = "rubix"
+				}))
+		}
+	}
+	res, err := sc.pool().RunAll(jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	tbl := stats.NewTable("RFMTH", "Zen RFM slow(%)", "Rubix RFM slow(%)", "Rubix extra ACTs(%)")
 	summary := map[string]float64{}
-	for _, th := range []int{4, 8} {
+	for ti, th := range ths {
 		var zen, rbx, extra []float64
-		for _, p := range sc.profiles() {
-			zBase := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed})
-			zRFM := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
-				Mode: dram.ModeRFM, TH: th})
-			rBase := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
-				Mapping: "rubix"})
-			rRFM := sim.MustRun(sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed,
-				Mode: dram.ModeRFM, TH: th, Mapping: "rubix"})
+		for wi := range profiles {
+			i := 4 * (ti*len(profiles) + wi)
+			zBase, zRFM, rBase, rRFM := res[i], res[i+1], res[i+2], res[i+3]
 			zen = append(zen, sim.Slowdown(zBase, zRFM))
 			rbx = append(rbx, sim.Slowdown(rBase, rRFM))
 			extra = append(extra, (float64(rBase.MC.Acts)/float64(zBase.MC.Acts)-1)*100)
@@ -264,7 +388,7 @@ func Fig17(sc Scale) Result {
 		summary[fmt.Sprintf("rubix_rfm%d_pct", th)] = stats.Mean(rbx)
 		summary[fmt.Sprintf("rubix_extra_acts_pct_th%d", th)] = stats.Mean(extra)
 	}
-	return Result{ID: "fig17", Title: "Impact of RFM on Rubix vs Zen", Table: tbl, Summary: summary}
+	return Result{ID: "fig17", Title: "Impact of RFM on Rubix vs Zen", Table: tbl, Summary: summary}, nil
 }
 
 func abs(x float64) float64 {

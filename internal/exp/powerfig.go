@@ -22,7 +22,11 @@ func activity(r sim.Result) power.Activity {
 // (Zen, no mitigation), standalone Rubix, AutoRFM-8 and AutoRFM-4, split
 // into the paper's four components. The paper reports Rubix adding ≈36mW of
 // activation power and AutoRFM-8/4 adding ≈28/55mW of mitigation power.
-func Fig12(sc Scale) Result {
+func Fig12(sc Scale) (Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return Result{}, err
+	}
 	configs := []struct {
 		name string
 		mut  func(*sim.Config)
@@ -40,16 +44,24 @@ func Fig12(sc Scale) Result {
 			c.Mapping = "rubix"
 		}},
 	}
+	// One job per (config, workload), flat in config-major order.
+	var jobs []sim.Config
+	for _, cfg := range configs {
+		for _, p := range profiles {
+			jobs = append(jobs, sc.simCfg(p, cfg.mut))
+		}
+	}
+	res, err := sc.pool().RunAll(jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	params := power.DDR5Params()
 	tbl := stats.NewTable("Config", "ACT+RW(mW)", "Other(mW)", "Refresh(mW)", "Mitig(mW)", "Total(mW)")
 	summary := map[string]float64{}
-	for _, cfg := range configs {
+	for ci, cfg := range configs {
 		var act, oth, ref, mit, tot []float64
-		for _, p := range sc.profiles() {
-			scfg := sim.Config{Workload: p, InstructionsPerCore: sc.Instructions, Seed: sc.Seed}
-			cfg.mut(&scfg)
-			r := sim.MustRun(scfg)
-			b := power.Compute(params, activity(r))
+		for wi := range profiles {
+			b := power.Compute(params, activity(res[ci*len(profiles)+wi]))
 			act = append(act, b.ACTRW*1000)
 			oth = append(oth, b.Other*1000)
 			ref = append(ref, b.Refresh*1000)
@@ -65,5 +77,5 @@ func Fig12(sc Scale) Result {
 	summary["autorfm4_overhead_mw"] = summary["autorfm-4_total_mw"] - summary["baseline_total_mw"]
 	summary["autorfm8_overhead_mw"] = summary["autorfm-8_total_mw"] - summary["baseline_total_mw"]
 	summary["rubix_overhead_mw"] = summary["rubix_total_mw"] - summary["baseline_total_mw"]
-	return Result{ID: "fig12", Title: "DRAM power breakdown", Table: tbl, Summary: summary}
+	return Result{ID: "fig12", Title: "DRAM power breakdown", Table: tbl, Summary: summary}, nil
 }

@@ -14,7 +14,7 @@ import (
 // Table3 regenerates Table III: the TRH-D tolerated by MINT (with the
 // recursive-mitigation reserved slot, as the original MINT design) as the
 // window varies (paper: 4→96, 8→182, 16→356, 32→702).
-func Table3(Scale) Result {
+func Table3(Scale) (Result, error) {
 	tm := clk.DDR5()
 	tbl := stats.NewTable("Window (W)", "TRH-D (computed)", "TRH-D (paper)")
 	paper := map[int]float64{4: 96, 8: 182, 16: 356, 32: 702}
@@ -24,12 +24,12 @@ func Table3(Scale) Result {
 		tbl.Add(w, trhd, paper[w])
 		summary[fmt.Sprintf("trhd_w%d", w)] = trhd
 	}
-	return Result{ID: "tab3", Title: "Threshold tolerated by MINT", Table: tbl, Summary: summary}
+	return Result{ID: "tab3", Title: "Threshold tolerated by MINT", Table: tbl, Summary: summary}, nil
 }
 
 // Fig14 regenerates Appendix A Figure 14: TRH-D versus MINT window for
 // recursive and fractal mitigation.
-func Fig14(Scale) Result {
+func Fig14(Scale) (Result, error) {
 	tm := clk.DDR5()
 	tbl := stats.NewTable("Window", "Recursive TRH-D", "Fractal TRH-D")
 	summary := map[string]float64{}
@@ -42,13 +42,13 @@ func Fig14(Scale) Result {
 			summary[fmt.Sprintf("fm_w%d", w)] = fm
 		}
 	}
-	return Result{ID: "fig14", Title: "Threshold vs window size", Table: tbl, Summary: summary}
+	return Result{ID: "fig14", Title: "Threshold vs window size", Table: tbl, Summary: summary}, nil
 }
 
 // Fig16 regenerates Appendix B Figure 16: the escape probability as a
 // function of damage for Fractal Mitigation and for MINT-4, plus the
 // mixed-attack data point the appendix discusses.
-func Fig16(Scale) Result {
+func Fig16(Scale) (Result, error) {
 	tbl := stats.NewTable("Damage", "P_escape FM", "P_escape MINT-4")
 	for _, d := range []float64{20, 40, 60, 80, 100, 120, 140} {
 		tbl.Add(d, fmt.Sprintf("%.2e", analytic.EscapeProbFM(d)),
@@ -61,7 +61,7 @@ func Fig16(Scale) Result {
 			"fm_damage_limit":   analytic.FMDamageLimit(1e-18),
 			"fm_min_safe_trhd":  analytic.FMMinimumSafeTRHD(),
 			"mixed_over_direct": mixed / direct, // < 1: mixing helps the defender
-		}}
+		}}, nil
 }
 
 // Fig18 regenerates Appendix D Figure 18: the TRH-D tolerated by PrIDE,
@@ -69,7 +69,7 @@ func Fig16(Scale) Result {
 // MINT use the Appendix A machinery with empirically-measured selection
 // probabilities; Mithril (deterministic) is audited directly for the
 // maximum unmitigated activation count under attack.
-func Fig18(sc Scale) Result {
+func Fig18(sc Scale) (Result, error) {
 	tm := clk.DDR5()
 	tbl := stats.NewTable("AutoRFMTH", "PrIDE TRH-D", "MINT TRH-D", "Mithril maxActs (audit)")
 	summary := map[string]float64{}
@@ -93,7 +93,7 @@ func Fig18(sc Scale) Result {
 		summary[fmt.Sprintf("mint_th%d", th)] = mintT
 		summary[fmt.Sprintf("mithril_maxacts_th%d", th)] = float64(mith)
 	}
-	return Result{ID: "fig18", Title: "TRH-D by tracker under AutoRFM", Table: tbl, Summary: summary}
+	return Result{ID: "fig18", Title: "TRH-D by tracker under AutoRFM", Table: tbl, Summary: summary}, nil
 }
 
 // mithrilAudit measures the maximum unmitigated neighbour-activation count
@@ -132,7 +132,7 @@ func mithrilAudit(th int, sc Scale) uint32 {
 // Fractal Mitigation survives Half-Double and double-sided attacks at the
 // paper threshold (TRH-D 74) while the non-transitive baseline policy is
 // broken by Half-Double.
-func AppB(sc Scale) Result {
+func AppB(sc Scale) (Result, error) {
 	tbl := stats.NewTable("Policy", "Pattern", "TRH-D", "Failures", "MaxDamage")
 	type c struct {
 		policy  string
@@ -155,5 +155,5 @@ func AppB(sc Scale) Result {
 		summary[cs.policy+"_"+cs.pattern.Name+"_failures"] = float64(rep.Failures)
 	}
 	summary["fm_min_safe_trhd"] = analytic.FMMinimumSafeTRHD()
-	return Result{ID: "appb", Title: "Fractal Mitigation security audit", Table: tbl, Summary: summary}
+	return Result{ID: "appb", Title: "Fractal Mitigation security audit", Table: tbl, Summary: summary}, nil
 }

@@ -1,0 +1,46 @@
+package runner_test
+
+import (
+	"fmt"
+
+	"autorfm/internal/dram"
+	"autorfm/internal/runner"
+	"autorfm/internal/sim"
+	"autorfm/internal/workload"
+)
+
+// Example runs a three-job sweep — the no-mitigation baseline, RFM-4 and
+// AutoRFM-4 on one workload — across four workers. Results arrive in input
+// order whatever the completion order; because the baseline and the two
+// mitigated runs share workload, instructions and seed, re-submitting the
+// whole sweep costs nothing (three cache hits).
+func Example() {
+	p, err := workload.ByName("bwaves")
+	if err != nil {
+		panic(err)
+	}
+	base := sim.Config{Workload: p, InstructionsPerCore: 30_000, Seed: 1}
+	rfm := base
+	rfm.Mode, rfm.TH = dram.ModeRFM, 4
+	auto := base
+	auto.Mode, auto.TH, auto.Mapping = dram.ModeAutoRFM, 4, "rubix"
+
+	pool := runner.New(4)
+	results, err := pool.RunAll([]sim.Config{base, rfm, auto})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("jobs:", len(results))
+	fmt.Println("RFM-4 slower than AutoRFM-4:",
+		sim.Slowdown(results[0], results[1]) > sim.Slowdown(results[0], results[2]))
+
+	if _, err := pool.RunAll([]sim.Config{base, rfm, auto}); err != nil {
+		panic(err)
+	}
+	hits, misses := pool.CacheStats()
+	fmt.Printf("cache: %d hits, %d simulations\n", hits, misses)
+	// Output:
+	// jobs: 3
+	// RFM-4 slower than AutoRFM-4: true
+	// cache: 3 hits, 3 simulations
+}

@@ -1,0 +1,192 @@
+// Package runner is the parallel experiment engine: it executes batches of
+// simulation jobs on a bounded worker pool and memoizes their results, so
+// experiment sweeps (internal/exp) run one simulation per distinct
+// configuration per process, spread across all CPUs, while producing
+// byte-identical output to serial execution.
+//
+// # Determinism
+//
+// RunAll returns results in the order the jobs were submitted, regardless
+// of the order workers complete them, and sim.Run is a pure function of
+// its config (see the internal/sim determinism contract). Together these
+// make the pool's parallelism unobservable in the results: for a fixed
+// seed, a table built from RunAll(jobs) with 1 worker is byte-identical to
+// the same table built with N workers. The repository's
+// TestSerialParallelIdentical runs under -race to enforce this.
+//
+// # Caching
+//
+// Results are memoized under sim.Config.Key(), which covers every
+// simulation-relevant field after normalizing defaults (workload profile,
+// cores, instructions, mechanism, TH, mapping, policy, tracker, PRACETh,
+// retry wait, RAA factor, prefetch degree, seed). In-flight deduplication
+// is singleflight-style: if two jobs with the same key are submitted
+// concurrently, one simulation runs and both receive its result. Configs
+// with a NewStream override have no key and are executed unconditionally.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"autorfm/internal/sim"
+)
+
+// Progress is a snapshot of a pool's job accounting, delivered to the
+// OnProgress callback after every job completes.
+type Progress struct {
+	// Done and Total count jobs completed and submitted so far. Cache
+	// hits count as completed jobs (they were asked for and answered).
+	Done, Total int
+	// CacheHits is how many of the Done jobs were served from the cache
+	// or coalesced onto an in-flight simulation.
+	CacheHits int
+	// Elapsed is the time since the pool ran its first job.
+	Elapsed time.Duration
+	// ETA estimates the remaining time from the mean per-job cost so
+	// far; zero when nothing is pending.
+	ETA time.Duration
+}
+
+// Pool runs simulation jobs on a fixed number of workers with a shared
+// result cache. The zero value is not usable; use New. A Pool is safe for
+// concurrent use by multiple goroutines.
+type Pool struct {
+	// OnProgress, when non-nil, is called after every completed job with
+	// a Progress snapshot. Set it before submitting jobs; it may be
+	// called from multiple goroutines, but never concurrently.
+	OnProgress func(Progress)
+
+	sem chan struct{} // bounds concurrent simulations
+
+	mu    sync.Mutex // guards cache
+	cache map[string]*entry
+
+	pmu       sync.Mutex // guards progress counters and OnProgress calls
+	done      int
+	submitted int
+	hits      int
+	started   time.Time
+}
+
+// entry is one memoized (possibly in-flight) simulation.
+type entry struct {
+	ready chan struct{} // closed when res/err are valid
+	res   sim.Result
+	err   error
+}
+
+// New returns a pool running at most workers simulations concurrently;
+// workers <= 0 selects runtime.NumCPU().
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{
+		sem:   make(chan struct{}, workers),
+		cache: make(map[string]*entry),
+	}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// CacheStats returns how many completed jobs were served from the cache
+// (or coalesced onto an in-flight duplicate) versus actually simulated.
+func (p *Pool) CacheStats() (hits, misses int) {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return p.hits, p.done - p.hits
+}
+
+// Run executes one job, consulting the cache first. Concurrent callers
+// are bounded by the pool's worker count.
+func (p *Pool) Run(cfg sim.Config) (sim.Result, error) {
+	p.jobSubmitted()
+
+	key := cfg.Key()
+	if key == "" {
+		// Uncacheable (caller-supplied stream): run directly.
+		p.sem <- struct{}{}
+		res, err := sim.Run(cfg)
+		<-p.sem
+		p.jobDone(false)
+		return res, err
+	}
+
+	p.mu.Lock()
+	if e, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		<-e.ready
+		p.jobDone(true)
+		return e.res, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	p.cache[key] = e
+	p.mu.Unlock()
+
+	p.sem <- struct{}{}
+	e.res, e.err = sim.Run(cfg)
+	<-p.sem
+	close(e.ready)
+	p.jobDone(false)
+	return e.res, e.err
+}
+
+// RunAll executes the jobs in parallel and returns their results in input
+// order, regardless of completion order. If any job fails, the first
+// error in input order is returned (results of successful jobs are still
+// filled in).
+func (p *Pool) RunAll(cfgs []sim.Config) ([]sim.Result, error) {
+	results := make([]sim.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = p.Run(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+func (p *Pool) jobSubmitted() {
+	p.pmu.Lock()
+	if p.started.IsZero() {
+		p.started = time.Now()
+	}
+	p.submitted++
+	p.pmu.Unlock()
+}
+
+func (p *Pool) jobDone(cached bool) {
+	p.pmu.Lock()
+	p.done++
+	if cached {
+		p.hits++
+	}
+	cb := p.OnProgress
+	var snap Progress
+	if cb != nil {
+		snap = Progress{
+			Done:      p.done,
+			Total:     p.submitted,
+			CacheHits: p.hits,
+			Elapsed:   time.Since(p.started),
+		}
+		if p.done > 0 && snap.Total > snap.Done {
+			perJob := snap.Elapsed / time.Duration(p.done)
+			snap.ETA = perJob * time.Duration(snap.Total-snap.Done)
+		}
+		cb(snap)
+	}
+	p.pmu.Unlock()
+}

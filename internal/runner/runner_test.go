@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"autorfm/internal/cpu"
+	"autorfm/internal/sim"
+	"autorfm/internal/workload"
+)
+
+func cfg(t testing.TB, wl string, mut func(*sim.Config)) sim.Config {
+	t.Helper()
+	p, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sim.Config{Workload: p, InstructionsPerCore: 30_000, Seed: 1}
+	if mut != nil {
+		mut(&c)
+	}
+	return c
+}
+
+// TestRunAllOrderAndDeterminism: results come back in input order and are
+// identical to direct serial sim.Run calls, at any worker count.
+func TestRunAllOrderAndDeterminism(t *testing.T) {
+	jobs := []sim.Config{
+		cfg(t, "bwaves", nil),
+		cfg(t, "mcf", nil),
+		cfg(t, "bwaves", func(c *sim.Config) { c.Seed = 2 }),
+	}
+	want := make([]sim.Result, len(jobs))
+	for i, j := range jobs {
+		w, err := sim.Run(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := New(workers).RunAll(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range jobs {
+			if got[i].Elapsed != want[i].Elapsed || got[i].MC.Acts != want[i].MC.Acts {
+				t.Errorf("workers=%d job %d: got elapsed=%v acts=%d, want %v/%d",
+					workers, i, got[i].Elapsed, got[i].MC.Acts, want[i].Elapsed, want[i].MC.Acts)
+			}
+		}
+	}
+}
+
+// TestCacheDeduplicates: identical configs — including ones that only
+// normalize equal — are simulated once.
+func TestCacheDeduplicates(t *testing.T) {
+	p := New(4)
+	base := cfg(t, "bwaves", nil)
+	defaulted := base
+	defaulted.Cores = 8 // the default; must share base's cache key
+	jobs := []sim.Config{base, base, defaulted, base}
+	if _, err := p.RunAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := p.CacheStats()
+	if misses != 1 || hits != 3 {
+		t.Fatalf("hits=%d misses=%d, want 3/1", hits, misses)
+	}
+	// A second round is fully cached.
+	if _, err := p.Run(base); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses = p.CacheStats(); misses != 1 || hits != 4 {
+		t.Fatalf("after rerun: hits=%d misses=%d, want 4/1", hits, misses)
+	}
+}
+
+// TestUncacheableStream: a NewStream config has no key and always runs.
+func TestUncacheableStream(t *testing.T) {
+	p := New(2)
+	c := cfg(t, "bwaves", func(c *sim.Config) {
+		c.Cores = 1
+		c.NewStream = func(core int) cpu.Stream {
+			return workload.NewGenerator(c.Workload, core, 7)
+		}
+	})
+	if c.Key() != "" {
+		t.Fatal("NewStream config has a cache key")
+	}
+	if _, err := p.RunAll([]sim.Config{c, c}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := p.CacheStats(); hits != 0 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2", hits, misses)
+	}
+}
+
+// TestErrorPropagates: a bad config fails its job without poisoning the
+// others, and RunAll reports the first error in input order.
+func TestErrorPropagates(t *testing.T) {
+	p := New(2)
+	jobs := []sim.Config{
+		cfg(t, "bwaves", nil),
+		cfg(t, "bwaves", func(c *sim.Config) { c.Tracker = "bogus" }),
+	}
+	res, err := p.RunAll(jobs)
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err = %v", err)
+	}
+	if res[0].MC.Acts == 0 {
+		t.Error("healthy job did not complete")
+	}
+	// The failure is cached too: re-running returns the same error.
+	if _, err2 := p.Run(jobs[1]); err2 == nil {
+		t.Error("cached failure did not re-report its error")
+	}
+}
+
+// TestProgressAccounting: every submitted job produces exactly one
+// progress callback, with monotonically complete final state.
+func TestProgressAccounting(t *testing.T) {
+	p := New(4)
+	var mu sync.Mutex
+	var last Progress
+	calls := 0
+	p.OnProgress = func(pr Progress) {
+		mu.Lock()
+		last = pr
+		calls++
+		mu.Unlock()
+	}
+	jobs := []sim.Config{
+		cfg(t, "bwaves", nil),
+		cfg(t, "bwaves", nil), // cache hit
+		cfg(t, "mcf", nil),
+	}
+	if _, err := p.RunAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || last.Done != 3 || last.Total != 3 || last.CacheHits != 1 {
+		t.Fatalf("calls=%d last=%+v", calls, last)
+	}
+}

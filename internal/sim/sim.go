@@ -5,6 +5,24 @@
 // from: per-core finish times (→ weighted speedup and slowdown), ACT-PKI,
 // per-bank activations per tREFI, ALERT-per-ACT, row-hit rates, and the
 // device-side mitigation counters that feed the power model.
+//
+// # Determinism contract
+//
+// Run is a pure function of its Config: two runs with equal normalized
+// configs (see Config.Normalized) produce identical Results, bit for bit.
+// Every source of randomness in the system — workload generation, mapping
+// ciphers, tracker sampling, mitigation policies — is drawn from PRNGs
+// seeded from Config.Seed, the event queue breaks ties deterministically,
+// and no package-level mutable state exists anywhere in the simulator.
+// Consequently concurrent Runs of distinct configs are independent and
+// race-free, and a Result may be memoized under Config.Key: the parallel
+// experiment engine in internal/runner relies on exactly this contract to
+// cache and fan out simulations while keeping experiment tables
+// byte-identical to serial execution.
+//
+// The one escape hatch is Config.NewStream: a run driven by a caller-
+// supplied stream is only as deterministic as that stream, so such configs
+// have no cache key (Key returns "") and are never memoized.
 package sim
 
 import (
@@ -85,6 +103,37 @@ func (c *Config) fillDefaults() {
 	if c.PRACETh == 0 {
 		c.PRACETh = 64
 	}
+}
+
+// Normalized returns the config with all defaulted fields filled in (8
+// cores, 1M instructions, amd-zen mapping, fractal policy, mint tracker,
+// TH 4, PRACETh 64). Two configs that normalize equal produce identical
+// Results (see the package determinism contract).
+func (c Config) Normalized() Config {
+	c.fillDefaults()
+	return c
+}
+
+// Key returns the canonical memoization key for the config: two configs
+// with the same key are guaranteed to produce identical Results, so a
+// cached Result may be reused. The key covers every field that influences
+// the simulation — the full workload profile (all generator parameters,
+// not just the name, so hand-built profiles are keyed correctly), Cores,
+// InstructionsPerCore, Mode, TH, Mapping, Policy, Tracker, PRACETh,
+// RetryWaitNS, RAAMaxFactor, PrefetchDegree, and Seed — after normalizing
+// defaults, so Config{TH: 0} and Config{TH: 4} share a key.
+//
+// Configs with a NewStream override are not memoizable (the stream is an
+// arbitrary caller-supplied function); for those Key returns "".
+func (c Config) Key() string {
+	if c.NewStream != nil {
+		return ""
+	}
+	n := c.Normalized()
+	return fmt.Sprintf("w=%+v|cores=%d|instr=%d|mode=%d|th=%d|map=%s|pol=%s|trk=%s|eth=%d|retry=%d|raa=%d|pf=%d|seed=%d",
+		n.Workload, n.Cores, n.InstructionsPerCore, n.Mode, n.TH, n.Mapping,
+		n.Policy, n.Tracker, n.PRACETh, n.RetryWaitNS, n.RAAMaxFactor,
+		n.PrefetchDegree, n.Seed)
 }
 
 // Result collects everything a run produced.

@@ -268,3 +268,48 @@ func TestTraceReplayMatchesGenerator(t *testing.T) {
 			replayed.Elapsed, direct.Elapsed, replayed.MC.Acts, direct.MC.Acts)
 	}
 }
+
+// TestConfigKey pins the memoization contract: defaults normalize into the
+// key, every simulation-relevant field perturbs it, and NewStream configs
+// are keyless (uncacheable).
+func TestConfigKey(t *testing.T) {
+	base := quick("bwaves", nil)
+	if base.Key() == "" {
+		t.Fatal("cacheable config produced no key")
+	}
+	defaulted := base
+	defaulted.Cores, defaulted.TH = 8, 4 // the defaults, spelled out
+	if defaulted.Key() != base.Key() {
+		t.Error("explicit defaults changed the key")
+	}
+	muts := map[string]func(*Config){
+		"workload": func(c *Config) { c.Workload.MemPKI *= 2 },
+		"cores":    func(c *Config) { c.Cores = 4 },
+		"instr":    func(c *Config) { c.InstructionsPerCore = 42 },
+		"mode":     func(c *Config) { c.Mode = dram.ModeRFM },
+		"th":       func(c *Config) { c.TH = 8 },
+		"mapping":  func(c *Config) { c.Mapping = "rubix" },
+		"policy":   func(c *Config) { c.Policy = "recursive" },
+		"tracker":  func(c *Config) { c.Tracker = "pride" },
+		"praceth":  func(c *Config) { c.PRACETh = 32 },
+		"retry":    func(c *Config) { c.RetryWaitNS = 400 },
+		"raamax":   func(c *Config) { c.RAAMaxFactor = 1 },
+		"prefetch": func(c *Config) { c.PrefetchDegree = -1 },
+		"seed":     func(c *Config) { c.Seed = 99 },
+	}
+	for name, mut := range muts {
+		c := base
+		mut(&c)
+		if c.Key() == base.Key() {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+	stream := base
+	stream.NewStream = func(core int) cpu.Stream { return nil }
+	if stream.Key() != "" {
+		t.Error("NewStream config has a key")
+	}
+	if n := (Config{Workload: base.Workload}).Normalized(); n.Cores != 8 || n.Tracker != "mint" {
+		t.Errorf("Normalized defaults wrong: %+v", n)
+	}
+}

@@ -143,8 +143,10 @@ func (t *TWiCe) OnREF() {
 func (t *TWiCe) SelectForMitigation() Selection {
 	var best uint32
 	bestCount := int64(-1)
+	// Ties break toward the lowest row index (a hardware counter scan),
+	// keeping selection independent of map iteration order.
 	for row, e := range t.entries {
-		if e.count > bestCount {
+		if e.count > bestCount || (e.count == bestCount && row < best) {
 			best, bestCount = row, e.count
 		}
 	}

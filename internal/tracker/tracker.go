@@ -319,8 +319,10 @@ func (m *Mithril) OnActivation(row uint32) {
 func (m *Mithril) SelectForMitigation() Selection {
 	var best uint32
 	bestCount := int64(-1)
+	// Ties break toward the lowest row index (a hardware counter scan),
+	// keeping selection independent of map iteration order.
 	for r, c := range m.counts {
-		if c > bestCount {
+		if c > bestCount || (c == bestCount && r < best) {
 			best, bestCount = r, c
 		}
 	}

@@ -337,3 +337,37 @@ func TestNames(t *testing.T) {
 		}
 	}
 }
+
+// TestSelectionDeterministic: counter trackers must select independently
+// of map iteration order — equal counts tie-break toward the lowest row.
+// (Regression: the Mithril/TWiCe max scans once followed Go's randomised
+// map order, making the fig18 audit differ run to run.)
+func TestSelectionDeterministic(t *testing.T) {
+	seq := func() []uint32 {
+		m := NewMithril(8)
+		tw := NewTWiCe(4)
+		var picks []uint32
+		for round := 0; round < 50; round++ {
+			for r := uint32(0); r < 24; r++ { // every row equally hot: all ties
+				m.OnActivation(r)
+				tw.OnActivation(r)
+			}
+			if s := m.SelectForMitigation(); s.OK {
+				picks = append(picks, s.Row)
+			}
+			if s := tw.SelectForMitigation(); s.OK {
+				picks = append(picks, s.Row)
+			}
+		}
+		return picks
+	}
+	a, b := seq(), seq()
+	if len(a) == 0 {
+		t.Fatal("no selections made")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selection %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
