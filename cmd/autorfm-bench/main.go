@@ -7,6 +7,14 @@
 // tables are byte-identical at any -j. Progress (jobs done/total, elapsed,
 // ETA) is reported on stderr while experiments run.
 //
+// The run is resilient: a job that panics or exceeds -timeout renders as
+// an ERR cell with a footnoted cause while the rest of the sweep
+// completes, and the process exits non-zero only after emitting everything
+// it computed. SIGINT/SIGTERM cancel cleanly; with -resume the completed
+// jobs are streamed to a JSON-lines checkpoint as they finish, and a later
+// invocation with the same flag continues where the interrupted one
+// stopped, producing byte-identical output.
+//
 // Examples:
 //
 //	autorfm-bench -list                 # show available experiments
@@ -14,30 +22,50 @@
 //	autorfm-bench -exp all -scale full  # everything at publication scale
 //	autorfm-bench -exp fig3 -j 1        # serial (same bytes as -j 32)
 //	autorfm-bench -exp fig8 -instr 500000 -workloads bwaves,lbm,mcf
+//	autorfm-bench -exp all -resume run.ckpt    # interrupt, rerun, continue
+//	autorfm-bench -exp fault -fault-drop 0.1   # fault-injection study
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"autorfm"
+	"autorfm/internal/fault"
 	"autorfm/internal/runner"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		expID = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale = flag.String("scale", "quick", "effort: quick|full")
-		instr = flag.Int64("instr", 0, "override instructions per core")
-		wls   = flag.String("workloads", "", "comma-separated workload subset")
-		seed  = flag.Uint64("seed", 1, "seed")
-		jobs  = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
-		quiet = flag.Bool("quiet", false, "suppress the stderr progress line")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale   = flag.String("scale", "quick", "effort: quick|full")
+		instr   = flag.Int64("instr", 0, "override instructions per core")
+		wls     = flag.String("workloads", "", "comma-separated workload subset")
+		seed    = flag.Uint64("seed", 1, "seed")
+		jobs    = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		quiet   = flag.Bool("quiet", false, "suppress the stderr progress line")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		resume  = flag.String("resume", "", "JSON-lines checkpoint file: preload completed jobs from it and append new ones")
+		timeout = flag.Duration("timeout", 0, "per-job wall-clock limit (0 = none); an expired job renders as ERR")
+
+		chaos     = flag.Float64("chaos", 0, "chaos probability: each job independently panics with this probability (engine stress test)")
+		faultSeed = flag.Uint64("fault-seed", 0, "fault-injector seed (default: -seed)")
+		actMiss   = flag.Float64("fault-actmiss", 0, "per-ACT probability the tracker misses the activation")
+		bitFlip   = flag.Float64("fault-bitflip", 0, "per-ACT probability of a single-bit row-address flip in the tracker")
+		dropMit   = flag.Float64("fault-drop", 0, "probability a tracker nomination is dropped before the victim refreshes")
+		delayMit  = flag.Float64("fault-delay", 0, "probability a nomination is deferred one mitigation slot")
 	)
 	flag.Parse()
 
@@ -45,7 +73,7 @@ func main() {
 		for _, e := range autorfm.Experiments() {
 			fmt.Printf("%-7s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var sc autorfm.Scale
@@ -56,7 +84,7 @@ func main() {
 		sc = autorfm.FullScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(1)
+		return 1
 	}
 	if *instr > 0 {
 		sc.Instructions = *instr
@@ -67,12 +95,36 @@ func main() {
 	sc.Seed = *seed
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+
+	fseed := *faultSeed
+	if fseed == 0 {
+		fseed = *seed
+	}
+	sc.Fault = fault.Config{
+		Seed:                fseed,
+		ActMissProb:         *actMiss,
+		TrackerBitFlipProb:  *bitFlip,
+		DropMitigationProb:  *dropMit,
+		DelayMitigationProb: *delayMit,
+		ChaosProb:           *chaos,
+	}
+	if err := sc.Fault.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// SIGINT/SIGTERM cancel the in-flight simulations; completed jobs have
+	// already been flushed to the -resume checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sc.Context = ctx
 
 	// One pool for the whole invocation: experiments share its result
 	// cache, so e.g. fig1d's Fig3 sweep makes a later fig3 free.
 	pool := runner.New(*jobs)
+	pool.JobTimeout = *timeout
 	if !*quiet {
 		pool.OnProgress = func(p runner.Progress) {
 			eta := ""
@@ -83,6 +135,27 @@ func main() {
 				p.Done, p.Total, p.CacheHits, p.Elapsed.Round(100*time.Millisecond), eta)
 		}
 	}
+	if *resume != "" {
+		if f, err := os.Open(*resume); err == nil {
+			n, lerr := pool.LoadCheckpoint(f)
+			f.Close()
+			if lerr != nil {
+				fmt.Fprintln(os.Stderr, lerr)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "resumed %d completed jobs from %s\n", n, *resume)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		w, err := os.OpenFile(*resume, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer w.Close()
+		pool.WriteCheckpoints(w)
+	}
 	sc.Pool = pool
 
 	var todo []autorfm.Experiment
@@ -92,26 +165,43 @@ func main() {
 		e, ok := autorfm.ExperimentByID(*expID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *expID)
-			os.Exit(1)
+			return 1
 		}
 		todo = []autorfm.Experiment{e}
 	}
 
+	// Emit everything that computes; fail only at the end. A cancelled run
+	// stops submitting but keeps what it already printed.
+	failed := 0
 	for _, e := range todo {
+		if ctx.Err() != nil {
+			break
+		}
 		start := time.Now()
 		res, err := e.Run(sc)
 		if !*quiet {
 			fmt.Fprint(os.Stderr, "\r\033[K")
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
 		}
 		fmt.Println(res)
 		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		failed += len(res.Failures)
 	}
 	if hits, misses := pool.CacheStats(); hits > 0 {
 		fmt.Fprintf(os.Stderr, "%d simulations run, %d served from cache (-j %d)\n",
 			misses, hits, pool.Workers())
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted; completed jobs are in the checkpoint (use -resume to continue)")
+		return 130
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d job(s)/experiment(s) failed; see ERR cells and failure footnotes above\n", failed)
+		return 1
+	}
+	return 0
 }

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"autorfm"
 	"autorfm/internal/cpu"
@@ -132,8 +135,10 @@ func main() {
 		bcfg.Mode = dram.ModeNone
 		todo = append(todo, bcfg)
 	}
-	results, err := pool.RunAll(todo)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	results, errs := pool.RunAll(ctx, todo)
+	if err := runner.FirstError(errs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 
 	"autorfm/internal/dram"
 	"autorfm/internal/sim"
@@ -38,25 +39,32 @@ func Ablations(sc Scale) (Result, error) {
 	pool := sc.pool()
 	tbl := stats.NewTable("Ablation", "Variant", "Avg slowdown(%)", "Avg ALERT/ACT(%)")
 	summary := map[string]float64{}
+	var fails []string
 
 	// Each variant is one job list (baseline + test per workload); the
 	// shared baselines are simulated once thanks to the pool's cache.
-	measure := func(mut func(*sim.Config)) (float64, float64, error) {
-		sds, tests, err := slowdowns(pool, sc, profiles, mut)
+	// ok is false when every profile's pair failed.
+	measure := func(mut func(*sim.Config)) (float64, float64, bool, error) {
+		sds, tests, fs, err := slowdowns(pool, sc, profiles, mut)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, false, err
 		}
+		fails = append(fails, fs...)
 		var als []float64
-		for _, test := range tests {
-			als = append(als, test.AlertPerAct()*100)
+		for i, test := range tests {
+			if !math.IsNaN(sds[i]) {
+				als = append(als, test.AlertPerAct()*100)
+			}
 		}
-		return stats.Mean(sds), stats.Mean(als), nil
+		sd, ok := meanValid(sds)
+		al, _ := meanValid(als)
+		return sd, al, ok, nil
 	}
 
 	// 1. ALERT retry wait (AutoRFM-4, Zen mapping to keep conflicts common).
 	for _, wait := range []int64{200, 400, 800} {
 		wait := wait
-		sd, al, err := measure(func(c *sim.Config) {
+		sd, al, ok, err := measure(func(c *sim.Config) {
 			c.Mode = dram.ModeAutoRFM
 			c.TH = 4
 			c.RetryWaitNS = wait
@@ -64,14 +72,16 @@ func Ablations(sc Scale) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		tbl.Add("retry-wait", fmt.Sprintf("%dns", wait), sd, al)
-		summary[fmt.Sprintf("retry%d_slowdown", wait)] = sd
+		tbl.Add("retry-wait", fmt.Sprintf("%dns", wait), cell(sd, ok), cell(al, ok))
+		if ok {
+			summary[fmt.Sprintf("retry%d_slowdown", wait)] = sd
+		}
 	}
 
 	// 2. RFM scheduling: eager vs deferred (RFM-8).
 	for _, f := range []int{1, 4, 8} {
 		f := f
-		sd, _, err := measure(func(c *sim.Config) {
+		sd, _, ok, err := measure(func(c *sim.Config) {
 			c.Mode = dram.ModeRFM
 			c.TH = 8
 			c.RAAMaxFactor = f
@@ -79,14 +89,16 @@ func Ablations(sc Scale) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		tbl.Add("rfm-schedule", fmt.Sprintf("raamax=%dx", f), sd, 0.0)
-		summary[fmt.Sprintf("raamax%d_slowdown", f)] = sd
+		tbl.Add("rfm-schedule", fmt.Sprintf("raamax=%dx", f), cell(sd, ok), 0.0)
+		if ok {
+			summary[fmt.Sprintf("raamax%d_slowdown", f)] = sd
+		}
 	}
 
 	// 3. Mapping spectrum under AutoRFM-4.
 	for _, m := range []string{"page-in-row", "amd-zen", "rubix"} {
 		m := m
-		sd, al, err := measure(func(c *sim.Config) {
+		sd, al, ok, err := measure(func(c *sim.Config) {
 			c.Mode = dram.ModeAutoRFM
 			c.TH = 4
 			c.Mapping = m
@@ -94,9 +106,11 @@ func Ablations(sc Scale) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		tbl.Add("mapping", m, sd, al)
-		summary["map_"+m+"_alert_pct"] = al
-		summary["map_"+m+"_slowdown"] = sd
+		tbl.Add("mapping", m, cell(sd, ok), cell(al, ok))
+		if ok {
+			summary["map_"+m+"_alert_pct"] = al
+			summary["map_"+m+"_slowdown"] = sd
+		}
 	}
 
 	// 4. Prefetcher off: the page-buddy correlation disappears.
@@ -106,7 +120,7 @@ func Ablations(sc Scale) (Result, error) {
 		if deg < 0 {
 			label = "off"
 		}
-		_, al, err := measure(func(c *sim.Config) {
+		_, al, ok, err := measure(func(c *sim.Config) {
 			c.Mode = dram.ModeAutoRFM
 			c.TH = 4
 			c.PrefetchDegree = deg
@@ -114,9 +128,12 @@ func Ablations(sc Scale) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		tbl.Add("prefetch", label, 0.0, al)
-		summary["prefetch_"+label+"_alert_pct"] = al
+		tbl.Add("prefetch", label, 0.0, cell(al, ok))
+		if ok {
+			summary["prefetch_"+label+"_alert_pct"] = al
+		}
 	}
 
-	return Result{ID: "ablate", Title: "Design-choice ablations", Table: tbl, Summary: summary}, nil
+	return Result{ID: "ablate", Title: "Design-choice ablations", Table: tbl,
+		Summary: summary, Failures: dedup(fails)}, nil
 }

@@ -14,10 +14,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
+	"autorfm/internal/fault"
 	"autorfm/internal/runner"
 	"autorfm/internal/sim"
 	"autorfm/internal/stats"
@@ -45,6 +48,25 @@ type Scale struct {
 	// its result cache across them, so e.g. the per-workload baselines
 	// computed by Fig3 are reused by Table5, Fig8, Fig11, …
 	Pool *runner.Pool
+	// Context, when set, cancels in-flight simulations: a fired context
+	// aborts the experiment with the context's error. Nil means
+	// context.Background().
+	Context context.Context
+	// Fault is injected into every simulation job the experiment
+	// submits: a way to study mitigation degradation under tracker and
+	// command faults (see internal/fault and the `fault` experiment),
+	// and — via its chaos knobs — to prove the engine isolates job
+	// failures. Individual jobs that die render as ERR cells; the rest
+	// of the table still computes.
+	Fault fault.Config
+}
+
+// ctx returns the scale's context, defaulting to Background.
+func (sc Scale) ctx() context.Context {
+	if sc.Context != nil {
+		return sc.Context
+	}
+	return context.Background()
 }
 
 // Quick returns the default scale used by `go test -bench`: every workload,
@@ -108,6 +130,7 @@ func (sc Scale) simCfg(p workload.Profile, muts ...func(*sim.Config)) sim.Config
 		Workload:            p,
 		InstructionsPerCore: sc.Instructions,
 		Seed:                sc.Seed,
+		Fault:               sc.Fault,
 	}
 	for _, mut := range muts {
 		mut(&cfg)
@@ -123,6 +146,12 @@ type Result struct {
 	// Summary holds the experiment's headline numbers (averages, key
 	// thresholds) so benchmarks can report them as metrics.
 	Summary map[string]float64
+	// Failures footnotes the jobs that died (panicked, timed out, or were
+	// rejected): their cells render as ERR in the table, the cause lands
+	// here, and the rest of the experiment still computes. Non-empty
+	// Failures make the bench process exit non-zero after emitting
+	// everything it produced.
+	Failures []string
 }
 
 // String renders the result in paper style.
@@ -139,6 +168,12 @@ func (r Result) String() string {
 			s += fmt.Sprintf(" %s=%.3f", k, r.Summary[k])
 		}
 		s += "\n"
+	}
+	for i, f := range r.Failures {
+		if i == 0 {
+			s += "failures:\n"
+		}
+		s += "  " + f + "\n"
 	}
 	return s
 }
@@ -170,6 +205,7 @@ func All() []Experiment {
 		{"fig18", "TRH-D of PrIDE, MINT, Mithril under AutoRFM", Fig18},
 		{"appb", "Security of Fractal Mitigation (Appendix B + audit)", AppB},
 		{"ablate", "Design-choice ablations (retry wait, RFM scheduling, mapping, prefetch)", Ablations},
+		{"fault", "Mitigation degradation under injected tracker/command faults", Fault},
 	}
 }
 
@@ -183,25 +219,138 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// jobSet is the outcome of one RunAll submission with per-job failure
+// bookkeeping: a failed job renders as an ERR cell and a footnote instead
+// of aborting the experiment, so a sweep emits everything it computed.
+type jobSet struct {
+	jobs []sim.Config
+	res  []sim.Result
+	errs []error
+}
+
+// submit runs the jobs on the pool under the scale's context. It returns
+// an error only when the context itself fired — per-job failures (panics,
+// timeouts, rejected configs) come back inside the jobSet for the caller
+// to render.
+func submit(pool *runner.Pool, sc Scale, jobs []sim.Config) (jobSet, error) {
+	res, errs := pool.RunAll(sc.ctx(), jobs)
+	if err := sc.ctx().Err(); err != nil {
+		return jobSet{}, fmt.Errorf("exp: cancelled: %w", err)
+	}
+	return jobSet{jobs: jobs, res: res, errs: errs}, nil
+}
+
+// ok reports whether job i completed.
+func (js jobSet) ok(is ...int) bool {
+	for _, i := range is {
+		if js.errs[i] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// slowdown returns the test-over-base slowdown, or ok=false when either
+// job failed.
+func (js jobSet) slowdown(base, test int) (float64, bool) {
+	if !js.ok(base, test) {
+		return 0, false
+	}
+	return sim.Slowdown(js.res[base], js.res[test]), true
+}
+
+// failures lists the failed jobs as "label: cause" footnotes, deduplicated
+// (the same cached failure can back several cells).
+func (js jobSet) failures() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i, err := range js.errs {
+		if err == nil {
+			continue
+		}
+		f := fmt.Sprintf("%s: %v", jobLabel(js.jobs[i]), err)
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// jobLabel is a compact human identity for a job in failure footnotes.
+func jobLabel(c sim.Config) string {
+	l := fmt.Sprintf("%s/%v", c.Workload.Name, c.Mode)
+	if c.TH > 0 {
+		l += fmt.Sprintf("-%d", c.TH)
+	}
+	if c.Mapping != "" {
+		l += "/" + c.Mapping
+	}
+	if c.Tracker != "" {
+		l += "/" + c.Tracker
+	}
+	return l
+}
+
+// dedup removes repeated failure footnotes while preserving order (the
+// same cached failure can surface from several submissions).
+func dedup(fails []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range fails {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// meanValid averages the non-NaN entries; ok is false when none are.
+func meanValid(vals []float64) (float64, bool) {
+	var kept []float64
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		return 0, false
+	}
+	return stats.Mean(kept), true
+}
+
+// cell renders a value, or ERR when its inputs failed.
+func cell(v float64, ok bool) interface{} {
+	if !ok {
+		return "ERR"
+	}
+	return v
+}
+
 // slowdowns submits, for each profile, the no-mitigation baseline and the
-// mutated config as one job list and returns the per-profile slowdowns and
-// test results in profile order. The pool's cache deduplicates the
-// baselines across calls.
-func slowdowns(pool *runner.Pool, sc Scale, profiles []workload.Profile, mut func(*sim.Config)) ([]float64, []sim.Result, error) {
+// mutated config as one job list and returns the per-profile slowdowns
+// (NaN where either job failed), test results in profile order, and the
+// failure footnotes. The pool's cache deduplicates the baselines across
+// calls.
+func slowdowns(pool *runner.Pool, sc Scale, profiles []workload.Profile, mut func(*sim.Config)) ([]float64, []sim.Result, []string, error) {
 	jobs := make([]sim.Config, 0, 2*len(profiles))
 	for _, p := range profiles {
 		jobs = append(jobs, sc.simCfg(p), sc.simCfg(p, mut))
 	}
-	res, err := pool.RunAll(jobs)
+	js, err := submit(pool, sc, jobs)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sds := make([]float64, len(profiles))
 	tests := make([]sim.Result, len(profiles))
 	for i := range profiles {
-		base, test := res[2*i], res[2*i+1]
-		sds[i] = sim.Slowdown(base, test)
-		tests[i] = test
+		if sd, ok := js.slowdown(2*i, 2*i+1); ok {
+			sds[i] = sd
+		} else {
+			sds[i] = math.NaN()
+		}
+		tests[i] = js.res[2*i+1]
 	}
-	return sds, tests, nil
+	return sds, tests, js.failures(), nil
 }

@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
 
+	"autorfm/internal/fault"
 	"autorfm/internal/runner"
 )
 
@@ -30,9 +33,11 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	// Every table and figure from the paper's evaluation must be present.
+	// Every table and figure from the paper's evaluation must be present,
+	// plus the fault-injection study.
 	for _, want := range []string{"fig1d", "fig3", "tab3", "tab5", "fig8", "tab6",
-		"fig11", "fig12", "fig13", "fig14", "fig16", "fig17", "fig18", "appb"} {
+		"fig11", "fig12", "fig13", "fig14", "fig16", "fig17", "fig18", "appb",
+		"ablate", "fault"} {
 		if !ids[want] {
 			t.Errorf("experiment %q missing from registry", want)
 		}
@@ -319,6 +324,111 @@ func TestSerialParallelIdentical(t *testing.T) {
 			t.Errorf("%s: -j 1 and -j 8 outputs differ:\n--- serial ---\n%s--- parallel ---\n%s",
 				id, a, b)
 		}
+	}
+}
+
+// TestFaultExperimentDegrades: injected faults must weaken the trackers —
+// the tolerated TRH-D rises (worse protection) under the combined scenario
+// — and the simulated drop scenario must lose victim refreshes.
+func TestFaultExperimentDegrades(t *testing.T) {
+	sc := microScale()
+	r := run(t, Fault, sc)
+	if len(r.Failures) != 0 {
+		t.Fatalf("clean fault sweep reported failures: %v", r.Failures)
+	}
+	clean, ok := r.Summary["mint_trhd_none"]
+	if !ok || clean <= 0 {
+		t.Fatalf("missing clean MINT threshold: %v", r.Summary)
+	}
+	if comb := r.Summary["mint_trhd_combined"]; comb <= clean {
+		t.Fatalf("combined faults did not raise MINT's tolerated TRH-D: %.1f vs %.1f", comb, clean)
+	}
+	if comb := r.Summary["pride_trhd_combined"]; comb <= r.Summary["pride_trhd_none"] {
+		t.Fatalf("combined faults did not raise PrIDE's tolerated TRH-D: %.1f vs %.1f",
+			comb, r.Summary["pride_trhd_none"])
+	}
+	vrClean := r.Summary["sim_victim_refreshes_none"]
+	vrDrop := r.Summary["sim_victim_refreshes_drop_mit_10"]
+	if vrClean <= 0 || vrDrop >= vrClean {
+		t.Fatalf("dropped mitigations did not lose victim refreshes: %v vs clean %v", vrDrop, vrClean)
+	}
+	// Deterministic: a rerun renders the identical table.
+	if again := run(t, Fault, sc); again.String() != r.String() {
+		t.Fatal("fault experiment is not deterministic")
+	}
+}
+
+// TestChaosSweepRendersERR: with chaos injection killing a strict subset of
+// jobs (seed 1 kills exactly lbm at this scale), the experiment must still
+// emit the surviving rows, mark the dead ones ERR, and footnote the cause.
+func TestChaosSweepRendersERR(t *testing.T) {
+	sc := microScale() // lbm + bfs
+	sc.Fault = fault.Config{ChaosProb: 0.5, Seed: 1}
+	r := run(t, Table5, sc)
+	s := r.String()
+	if !strings.Contains(s, "ERR") {
+		t.Fatalf("no ERR cell rendered:\n%s", s)
+	}
+	if !strings.Contains(s, "bfs") {
+		t.Fatalf("surviving row missing:\n%s", s)
+	}
+	if len(r.Failures) != 1 || !strings.Contains(r.Failures[0], "chaos panic") {
+		t.Fatalf("failures = %v, want one chaos-panic footnote", r.Failures)
+	}
+	if !strings.Contains(s, "failures:") {
+		t.Fatalf("failure footnote not rendered:\n%s", s)
+	}
+	// The surviving workload's metrics must still be real numbers.
+	if _, ok := r.Summary["mean_actpki_error_pct"]; !ok {
+		t.Fatal("survivors contributed no summary metrics")
+	}
+}
+
+// TestResumeByteIdentical is the checkpoint/resume gate: a sweep cancelled
+// mid-run, resumed from its JSON-lines checkpoint in a fresh pool, must
+// render output byte-identical to an uninterrupted run — with the
+// checkpointed jobs served from the preloaded cache, not re-simulated.
+func TestResumeByteIdentical(t *testing.T) {
+	golden := run(t, Fig3, microScale())
+
+	// Interrupted run: checkpoint every completed job, cancel once a few
+	// have landed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ckpt bytes.Buffer
+	interrupted := microScale()
+	interrupted.Pool = runner.New(2)
+	interrupted.Pool.WriteCheckpoints(&ckpt)
+	interrupted.Pool.OnProgress = func(p runner.Progress) {
+		if p.Done >= 3 {
+			cancel()
+		}
+	}
+	interrupted.Context = ctx
+	if _, err := Fig3(interrupted); err == nil {
+		t.Fatal("cancelled sweep reported success")
+	}
+	if ckpt.Len() == 0 {
+		t.Fatal("no checkpoint records written before cancellation")
+	}
+
+	// Resumed run: fresh pool preloaded from the checkpoint.
+	resumed := microScale()
+	resumed.Pool = runner.New(2)
+	n, err := resumed.Pool.LoadCheckpoint(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("checkpoint loaded no records")
+	}
+	r := run(t, Fig3, resumed)
+	if r.String() != golden.String() {
+		t.Fatalf("resumed output differs from uninterrupted run:\n--- golden ---\n%s--- resumed ---\n%s",
+			golden, r)
+	}
+	if hits, _ := resumed.Pool.CacheStats(); hits < n {
+		t.Fatalf("resumed run served %d cache hits, want at least the %d loaded", hits, n)
 	}
 }
 

@@ -32,7 +32,7 @@ func Fig3(sc Scale) (Result, error) {
 			}))
 		}
 	}
-	res, err := sc.pool().RunAll(jobs)
+	js, err := submit(sc.pool(), sc, jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -40,24 +40,28 @@ func Fig3(sc Scale) (Result, error) {
 	tbl := stats.NewTable("Workload", "RFM-4(%)", "RFM-8(%)", "RFM-16(%)", "RFM-32(%)")
 	sums := make([][]float64, len(ths))
 	for wi, p := range profiles {
-		base := res[wi*stride]
 		row := []interface{}{p.Name}
 		for i := range ths {
-			sd := sim.Slowdown(base, res[wi*stride+1+i])
-			sums[i] = append(sums[i], sd)
-			row = append(row, sd)
+			sd, ok := js.slowdown(wi*stride, wi*stride+1+i)
+			if ok {
+				sums[i] = append(sums[i], sd)
+			}
+			row = append(row, cell(sd, ok))
 		}
 		tbl.Add(row...)
 	}
 	summary := map[string]float64{}
 	avgRow := []interface{}{"AVERAGE"}
 	for i, th := range ths {
-		m := stats.Mean(sums[i])
-		avgRow = append(avgRow, m)
-		summary[fmt.Sprintf("rfm%d_avg_slowdown_pct", th)] = m
+		m, ok := meanValid(sums[i])
+		avgRow = append(avgRow, cell(m, ok))
+		if ok {
+			summary[fmt.Sprintf("rfm%d_avg_slowdown_pct", th)] = m
+		}
 	}
 	tbl.Add(avgRow...)
-	return Result{ID: "fig3", Title: "Performance impact of RFM", Table: tbl, Summary: summary}, nil
+	return Result{ID: "fig3", Title: "Performance impact of RFM", Table: tbl,
+		Summary: summary, Failures: js.failures()}, nil
 }
 
 // Fig1d regenerates Figure 1(d): the average RFM slowdown paired with the
@@ -73,12 +77,15 @@ func Fig1d(sc Scale) (Result, error) {
 	summary := map[string]float64{}
 	for _, th := range []int{32, 16, 8, 4} {
 		_, trhd := analytic.MINTThreshold(th, true, tm, analytic.MTTFTarget)
-		sd := fig3.Summary[fmt.Sprintf("rfm%d_avg_slowdown_pct", th)]
-		tbl.Add(th, trhd, sd)
+		sd, ok := fig3.Summary[fmt.Sprintf("rfm%d_avg_slowdown_pct", th)]
+		tbl.Add(th, trhd, cell(sd, ok))
 		summary[fmt.Sprintf("trhd_rfm%d", th)] = trhd
-		summary[fmt.Sprintf("slowdown_rfm%d", th)] = sd
+		if ok {
+			summary[fmt.Sprintf("slowdown_rfm%d", th)] = sd
+		}
 	}
-	return Result{ID: "fig1d", Title: "RFM slowdown vs tolerated threshold", Table: tbl, Summary: summary}, nil
+	return Result{ID: "fig1d", Title: "RFM slowdown vs tolerated threshold", Table: tbl,
+		Summary: summary, Failures: fig3.Failures}, nil
 }
 
 // Table5 regenerates Table V: measured ACT-PKI and per-bank ACT-per-tREFI
@@ -92,23 +99,31 @@ func Table5(sc Scale) (Result, error) {
 	for i, p := range profiles {
 		jobs[i] = sc.simCfg(p)
 	}
-	res, err := sc.pool().RunAll(jobs)
+	js, err := submit(sc.pool(), sc, jobs)
 	if err != nil {
 		return Result{}, err
 	}
 	tbl := stats.NewTable("Workload", "Suite", "ACT-PKI", "paper", "ACT/tREFI", "paper")
 	var pkiErr, trefiErr []float64
 	for i, p := range profiles {
-		r := res[i]
+		if !js.ok(i) {
+			tbl.Add(p.Name, p.Suite, "ERR", p.TargetACTPKI, "ERR", p.TargetACTPerTREFI)
+			continue
+		}
+		r := js.res[i]
 		tbl.Add(p.Name, p.Suite, r.ACTPKI(), p.TargetACTPKI, r.ACTPerTREFI(), p.TargetACTPerTREFI)
 		pkiErr = append(pkiErr, abs(r.ACTPKI()-p.TargetACTPKI)/p.TargetACTPKI*100)
 		trefiErr = append(trefiErr, abs(r.ACTPerTREFI()-p.TargetACTPerTREFI)/p.TargetACTPerTREFI*100)
 	}
+	summary := map[string]float64{}
+	if m, ok := meanValid(pkiErr); ok {
+		summary["mean_actpki_error_pct"] = m
+	}
+	if m, ok := meanValid(trefiErr); ok {
+		summary["mean_acttrefi_error_pct"] = m
+	}
 	return Result{ID: "tab5", Title: "Workload characteristics", Table: tbl,
-		Summary: map[string]float64{
-			"mean_actpki_error_pct":   stats.Mean(pkiErr),
-			"mean_acttrefi_error_pct": stats.Mean(trefiErr),
-		}}, nil
+		Summary: summary, Failures: js.failures()}, nil
 }
 
 // Fig8 regenerates Figure 8: AutoRFM-4 slowdown (a) and ALERT-per-ACT (b)
@@ -135,7 +150,7 @@ func Fig8(sc Scale) (Result, error) {
 				c.Mapping = "rubix"
 			}))
 	}
-	res, err := sc.pool().RunAll(jobs)
+	js, err := submit(sc.pool(), sc, jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -143,21 +158,39 @@ func Fig8(sc Scale) (Result, error) {
 		"Rubix slow(%)", "Rubix ALERT/ACT(%)")
 	var zenSD, zenAL, rbxSD, rbxAL []float64
 	for i, p := range profiles {
-		base, zen, rbx := res[3*i], res[3*i+1], res[3*i+2]
-		zs, rs := sim.Slowdown(base, zen), sim.Slowdown(base, rbx)
-		za, ra := zen.AlertPerAct()*100, rbx.AlertPerAct()*100
-		tbl.Add(p.Name, zs, za, rs, ra)
-		zenSD, zenAL = append(zenSD, zs), append(zenAL, za)
-		rbxSD, rbxAL = append(rbxSD, rs), append(rbxAL, ra)
+		zs, zok := js.slowdown(3*i, 3*i+1)
+		rs, rok := js.slowdown(3*i, 3*i+2)
+		var za, ra float64
+		if zok {
+			za = js.res[3*i+1].AlertPerAct() * 100
+			zenSD, zenAL = append(zenSD, zs), append(zenAL, za)
+		}
+		if rok {
+			ra = js.res[3*i+2].AlertPerAct() * 100
+			rbxSD, rbxAL = append(rbxSD, rs), append(rbxAL, ra)
+		}
+		tbl.Add(p.Name, cell(zs, zok), cell(za, zok), cell(rs, rok), cell(ra, rok))
 	}
-	tbl.Add("AVERAGE", stats.Mean(zenSD), stats.Mean(zenAL), stats.Mean(rbxSD), stats.Mean(rbxAL))
+	summary := map[string]float64{}
+	avgRow := []interface{}{"AVERAGE"}
+	for _, col := range []struct {
+		key  string
+		vals []float64
+	}{
+		{"zen_avg_slowdown_pct", zenSD},
+		{"zen_alert_per_act_pct", zenAL},
+		{"rubix_avg_slowdown_pct", rbxSD},
+		{"rubix_alert_per_act_pct", rbxAL},
+	} {
+		m, ok := meanValid(col.vals)
+		avgRow = append(avgRow, cell(m, ok))
+		if ok {
+			summary[col.key] = m
+		}
+	}
+	tbl.Add(avgRow...)
 	return Result{ID: "fig8", Title: "Impact of memory mapping on AutoRFM-4", Table: tbl,
-		Summary: map[string]float64{
-			"zen_avg_slowdown_pct":    stats.Mean(zenSD),
-			"zen_alert_per_act_pct":   stats.Mean(zenAL),
-			"rubix_avg_slowdown_pct":  stats.Mean(rbxSD),
-			"rubix_alert_per_act_pct": stats.Mean(rbxAL),
-		}}, nil
+		Summary: summary, Failures: js.failures()}, nil
 }
 
 // Fig11 regenerates Figure 11: per-workload slowdown of RFM-4/8 (blocking)
@@ -188,34 +221,42 @@ func Fig11(sc Scale) (Result, error) {
 				}))
 		}
 	}
-	res, err := sc.pool().RunAll(jobs)
+	js, err := submit(sc.pool(), sc, jobs)
 	if err != nil {
 		return Result{}, err
 	}
 	tbl := stats.NewTable("Workload", "RFM-4(%)", "AutoRFM-4(%)", "RFM-8(%)", "AutoRFM-8(%)")
 	cols := map[string][]float64{}
 	for wi, p := range profiles {
-		base := res[wi*stride]
 		vals := []interface{}{p.Name}
 		for ti, th := range ths {
-			rfm := res[wi*stride+1+2*ti]
-			auto := res[wi*stride+2+2*ti]
-			rs, as := sim.Slowdown(base, rfm), sim.Slowdown(base, auto)
-			vals = append(vals, rs, as)
-			cols[fmt.Sprintf("rfm%d", th)] = append(cols[fmt.Sprintf("rfm%d", th)], rs)
-			cols[fmt.Sprintf("auto%d", th)] = append(cols[fmt.Sprintf("auto%d", th)], as)
+			rs, rok := js.slowdown(wi*stride, wi*stride+1+2*ti)
+			as, aok := js.slowdown(wi*stride, wi*stride+2+2*ti)
+			vals = append(vals, cell(rs, rok), cell(as, aok))
+			if rok {
+				cols[fmt.Sprintf("rfm%d", th)] = append(cols[fmt.Sprintf("rfm%d", th)], rs)
+			}
+			if aok {
+				cols[fmt.Sprintf("auto%d", th)] = append(cols[fmt.Sprintf("auto%d", th)], as)
+			}
 		}
 		tbl.Add(vals...)
 	}
-	tbl.Add("AVERAGE", stats.Mean(cols["rfm4"]), stats.Mean(cols["auto4"]),
-		stats.Mean(cols["rfm8"]), stats.Mean(cols["auto8"]))
+	summary := map[string]float64{}
+	avgRow := []interface{}{"AVERAGE"}
+	for _, c := range []struct{ col, key string }{
+		{"rfm4", "rfm4_avg_pct"}, {"auto4", "autorfm4_avg_pct"},
+		{"rfm8", "rfm8_avg_pct"}, {"auto8", "autorfm8_avg_pct"},
+	} {
+		m, ok := meanValid(cols[c.col])
+		avgRow = append(avgRow, cell(m, ok))
+		if ok {
+			summary[c.key] = m
+		}
+	}
+	tbl.Add(avgRow...)
 	return Result{ID: "fig11", Title: "RFM vs AutoRFM", Table: tbl,
-		Summary: map[string]float64{
-			"rfm4_avg_pct":     stats.Mean(cols["rfm4"]),
-			"autorfm4_avg_pct": stats.Mean(cols["auto4"]),
-			"rfm8_avg_pct":     stats.Mean(cols["rfm8"]),
-			"autorfm8_avg_pct": stats.Mean(cols["auto8"]),
-		}}, nil
+		Summary: summary, Failures: js.failures()}, nil
 }
 
 // Table6 regenerates Table VI: average AutoRFM slowdown (Rubix + FM) and
@@ -241,7 +282,7 @@ func Table6(sc Scale) (Result, error) {
 			}))
 		}
 	}
-	res, err := sc.pool().RunAll(jobs)
+	js, err := submit(sc.pool(), sc, jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -251,17 +292,22 @@ func Table6(sc Scale) (Result, error) {
 		var sds []float64
 		for wi := range profiles {
 			i := 2 * (ti*len(profiles) + wi)
-			sds = append(sds, sim.Slowdown(res[i], res[i+1]))
+			if sd, ok := js.slowdown(i, i+1); ok {
+				sds = append(sds, sd)
+			}
 		}
 		_, rm := analytic.MINTThreshold(th, true, tm, analytic.MTTFTarget)
 		_, fm := analytic.MINTThreshold(th, false, tm, analytic.MTTFTarget)
-		m := stats.Mean(sds)
-		tbl.Add(th, m, rm, fm)
-		summary[fmt.Sprintf("autorfm%d_slowdown_pct", th)] = m
+		m, ok := meanValid(sds)
+		tbl.Add(th, cell(m, ok), rm, fm)
+		if ok {
+			summary[fmt.Sprintf("autorfm%d_slowdown_pct", th)] = m
+		}
 		summary[fmt.Sprintf("autorfm%d_trhd_fm", th)] = fm
 		summary[fmt.Sprintf("autorfm%d_trhd_rm", th)] = rm
 	}
-	return Result{ID: "tab6", Title: "Slowdown and tolerated threshold", Table: tbl, Summary: summary}, nil
+	return Result{ID: "tab6", Title: "Slowdown and tolerated threshold", Table: tbl,
+		Summary: summary, Failures: js.failures()}, nil
 }
 
 // Fig13 regenerates Figure 13: average slowdown of PRAC+ABO, RFM, and
@@ -286,13 +332,16 @@ func Fig13(sc Scale) (Result, error) {
 	thresholds := []float64{74, 100, 161, 250, 356, 500, 702}
 	tbl := stats.NewTable("TRH-D", "PRAC(%)", "RFM(%)", "AutoRFM(%)")
 	summary := map[string]float64{}
+	var fails []string
 
-	avg := func(mut func(*sim.Config)) (float64, error) {
-		sds, _, err := slowdowns(pool, sc, profiles, mut)
+	avg := func(mut func(*sim.Config)) (float64, bool, error) {
+		sds, _, fs, err := slowdowns(pool, sc, profiles, mut)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
-		return stats.Mean(sds), nil
+		fails = append(fails, fs...)
+		m, ok := meanValid(sds)
+		return m, ok, nil
 	}
 
 	for _, trhd := range thresholds {
@@ -302,28 +351,30 @@ func Fig13(sc Scale) (Result, error) {
 		if eth < 8 {
 			eth = 8
 		}
-		prac, err := avg(func(c *sim.Config) { c.Mode = dram.ModePRAC; c.PRACETh = eth })
+		prac, pok, err := avg(func(c *sim.Config) { c.Mode = dram.ModePRAC; c.PRACETh = eth })
 		if err != nil {
 			return Result{}, err
 		}
-		row = append(row, prac)
+		row = append(row, cell(prac, pok))
 
 		// RFM: the largest window whose recursive-mitigation threshold is
 		// still below trhd.
 		if w := analytic.WindowForThreshold(trhd, true, tm, analytic.MTTFTarget); w >= 2 {
-			rfm, err := avg(func(c *sim.Config) { c.Mode = dram.ModeRFM; c.TH = w })
+			rfm, ok, err := avg(func(c *sim.Config) { c.Mode = dram.ModeRFM; c.TH = w })
 			if err != nil {
 				return Result{}, err
 			}
-			row = append(row, rfm)
-			summary[fmt.Sprintf("rfm_at_%0.f", trhd)] = rfm
+			row = append(row, cell(rfm, ok))
+			if ok {
+				summary[fmt.Sprintf("rfm_at_%0.f", trhd)] = rfm
+			}
 		} else {
 			row = append(row, "n/a")
 		}
 
 		// AutoRFM with Rubix + FM.
 		if w := analytic.WindowForThreshold(trhd, false, tm, analytic.MTTFTarget); w >= 2 {
-			auto, err := avg(func(c *sim.Config) {
+			auto, ok, err := avg(func(c *sim.Config) {
 				c.Mode = dram.ModeAutoRFM
 				c.TH = w
 				c.Mapping = "rubix"
@@ -331,15 +382,20 @@ func Fig13(sc Scale) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			row = append(row, auto)
-			summary[fmt.Sprintf("autorfm_at_%0.f", trhd)] = auto
+			row = append(row, cell(auto, ok))
+			if ok {
+				summary[fmt.Sprintf("autorfm_at_%0.f", trhd)] = auto
+			}
 		} else {
 			row = append(row, "n/a")
 		}
-		summary[fmt.Sprintf("prac_at_%0.f", trhd)] = prac
+		if pok {
+			summary[fmt.Sprintf("prac_at_%0.f", trhd)] = prac
+		}
 		tbl.Add(row...)
 	}
-	return Result{ID: "fig13", Title: "PRAC vs RFM vs AutoRFM across thresholds", Table: tbl, Summary: summary}, nil
+	return Result{ID: "fig13", Title: "PRAC vs RFM vs AutoRFM across thresholds", Table: tbl,
+		Summary: summary, Failures: dedup(fails)}, nil
 }
 
 // Fig17 regenerates Appendix C / Figure 17: the average slowdown of RFM on
@@ -368,7 +424,7 @@ func Fig17(sc Scale) (Result, error) {
 				}))
 		}
 	}
-	res, err := sc.pool().RunAll(jobs)
+	js, err := submit(sc.pool(), sc, jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -378,17 +434,33 @@ func Fig17(sc Scale) (Result, error) {
 		var zen, rbx, extra []float64
 		for wi := range profiles {
 			i := 4 * (ti*len(profiles) + wi)
-			zBase, zRFM, rBase, rRFM := res[i], res[i+1], res[i+2], res[i+3]
-			zen = append(zen, sim.Slowdown(zBase, zRFM))
-			rbx = append(rbx, sim.Slowdown(rBase, rRFM))
-			extra = append(extra, (float64(rBase.MC.Acts)/float64(zBase.MC.Acts)-1)*100)
+			if sd, ok := js.slowdown(i, i+1); ok {
+				zen = append(zen, sd)
+			}
+			if sd, ok := js.slowdown(i+2, i+3); ok {
+				rbx = append(rbx, sd)
+			}
+			if js.ok(i, i+2) {
+				zBase, rBase := js.res[i], js.res[i+2]
+				extra = append(extra, (float64(rBase.MC.Acts)/float64(zBase.MC.Acts)-1)*100)
+			}
 		}
-		tbl.Add(th, stats.Mean(zen), stats.Mean(rbx), stats.Mean(extra))
-		summary[fmt.Sprintf("zen_rfm%d_pct", th)] = stats.Mean(zen)
-		summary[fmt.Sprintf("rubix_rfm%d_pct", th)] = stats.Mean(rbx)
-		summary[fmt.Sprintf("rubix_extra_acts_pct_th%d", th)] = stats.Mean(extra)
+		zm, zok := meanValid(zen)
+		rm, rok := meanValid(rbx)
+		em, eok := meanValid(extra)
+		tbl.Add(th, cell(zm, zok), cell(rm, rok), cell(em, eok))
+		if zok {
+			summary[fmt.Sprintf("zen_rfm%d_pct", th)] = zm
+		}
+		if rok {
+			summary[fmt.Sprintf("rubix_rfm%d_pct", th)] = rm
+		}
+		if eok {
+			summary[fmt.Sprintf("rubix_extra_acts_pct_th%d", th)] = em
+		}
 	}
-	return Result{ID: "fig17", Title: "Impact of RFM on Rubix vs Zen", Table: tbl, Summary: summary}, nil
+	return Result{ID: "fig17", Title: "Impact of RFM on Rubix vs Zen", Table: tbl,
+		Summary: summary, Failures: js.failures()}, nil
 }
 
 func abs(x float64) float64 {

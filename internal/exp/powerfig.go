@@ -51,7 +51,7 @@ func Fig12(sc Scale) (Result, error) {
 			jobs = append(jobs, sc.simCfg(p, cfg.mut))
 		}
 	}
-	res, err := sc.pool().RunAll(jobs)
+	js, err := submit(sc.pool(), sc, jobs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -61,21 +61,40 @@ func Fig12(sc Scale) (Result, error) {
 	for ci, cfg := range configs {
 		var act, oth, ref, mit, tot []float64
 		for wi := range profiles {
-			b := power.Compute(params, activity(res[ci*len(profiles)+wi]))
+			if !js.ok(ci*len(profiles) + wi) {
+				continue
+			}
+			b := power.Compute(params, activity(js.res[ci*len(profiles)+wi]))
 			act = append(act, b.ACTRW*1000)
 			oth = append(oth, b.Other*1000)
 			ref = append(ref, b.Refresh*1000)
 			mit = append(mit, b.Mitigation*1000)
 			tot = append(tot, b.Total()*1000)
 		}
-		tbl.Add(cfg.name, stats.Mean(act), stats.Mean(oth), stats.Mean(ref),
-			stats.Mean(mit), stats.Mean(tot))
-		summary[cfg.name+"_total_mw"] = stats.Mean(tot)
-		summary[cfg.name+"_mitig_mw"] = stats.Mean(mit)
-		summary[cfg.name+"_actrw_mw"] = stats.Mean(act)
+		ok := len(tot) > 0
+		am, _ := meanValid(act)
+		om, _ := meanValid(oth)
+		rm, _ := meanValid(ref)
+		mm, _ := meanValid(mit)
+		tm, _ := meanValid(tot)
+		tbl.Add(cfg.name, cell(am, ok), cell(om, ok), cell(rm, ok), cell(mm, ok), cell(tm, ok))
+		if ok {
+			summary[cfg.name+"_total_mw"] = tm
+			summary[cfg.name+"_mitig_mw"] = mm
+			summary[cfg.name+"_actrw_mw"] = am
+		}
 	}
-	summary["autorfm4_overhead_mw"] = summary["autorfm-4_total_mw"] - summary["baseline_total_mw"]
-	summary["autorfm8_overhead_mw"] = summary["autorfm-8_total_mw"] - summary["baseline_total_mw"]
-	summary["rubix_overhead_mw"] = summary["rubix_total_mw"] - summary["baseline_total_mw"]
-	return Result{ID: "fig12", Title: "DRAM power breakdown", Table: tbl, Summary: summary}, nil
+	for name, key := range map[string]string{
+		"autorfm-4": "autorfm4_overhead_mw",
+		"autorfm-8": "autorfm8_overhead_mw",
+		"rubix":     "rubix_overhead_mw",
+	} {
+		t, ok1 := summary[name+"_total_mw"]
+		b, ok2 := summary["baseline_total_mw"]
+		if ok1 && ok2 {
+			summary[key] = t - b
+		}
+	}
+	return Result{ID: "fig12", Title: "DRAM power breakdown", Table: tbl,
+		Summary: summary, Failures: js.failures()}, nil
 }

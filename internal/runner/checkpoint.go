@@ -1,0 +1,80 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"autorfm/internal/sim"
+)
+
+// checkpointRecord is one checkpoint line: a completed simulation keyed by
+// its config's memoization key. The key is stored redundantly — it is
+// recomputable from the config inside the result — so LoadCheckpoint can
+// verify each line against the current Key() schema and silently skip
+// records written by an incompatible binary instead of poisoning the cache.
+type checkpointRecord struct {
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// WriteCheckpoints directs the pool to append every newly simulated result
+// to w as one JSON object per line, as jobs complete. Cache hits and failed
+// jobs are not written (hits are already on file or in memory; errors are
+// cheap to reproduce and must re-run on resume). Writes are serialized and
+// best-effort: a failing sink degrades checkpointing, never the sweep.
+// Pass nil to disable. Safe to call while jobs are running.
+func (p *Pool) WriteCheckpoints(w io.Writer) {
+	p.cmu.Lock()
+	p.cw = w
+	p.cmu.Unlock()
+}
+
+func (p *Pool) checkpoint(key string, res sim.Result) {
+	if key == "" {
+		return // uncacheable config: cannot be resumed by key
+	}
+	p.cmu.Lock()
+	defer p.cmu.Unlock()
+	if p.cw == nil {
+		return
+	}
+	// Encode eagerly so a line is either fully formed or not written; the
+	// encoder appends the trailing newline that delimits records.
+	_ = json.NewEncoder(p.cw).Encode(checkpointRecord{Key: key, Result: res})
+}
+
+// LoadCheckpoint preloads the pool's cache from a JSON-lines stream
+// previously produced by WriteCheckpoints, returning how many results were
+// loaded. Malformed lines — typically one record truncated when the
+// writing process was killed mid-write — and records whose stored key does
+// not match their config's recomputed Key() are skipped, so resuming from
+// a damaged or stale checkpoint recovers everything that is still valid.
+// An error is returned only when reading from r itself fails.
+func (p *Pool) LoadCheckpoint(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		var rec checkpointRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue
+		}
+		if rec.Key == "" || rec.Result.Config.Key() != rec.Key {
+			continue
+		}
+		e := &entry{ready: make(chan struct{}), res: rec.Result}
+		close(e.ready)
+		p.mu.Lock()
+		if _, ok := p.cache[rec.Key]; !ok {
+			p.cache[rec.Key] = e
+			n++
+		}
+		p.mu.Unlock()
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("runner: reading checkpoint: %w", err)
+	}
+	return n, nil
+}

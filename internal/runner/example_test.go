@@ -1,6 +1,7 @@
 package runner_test
 
 import (
+	"context"
 	"fmt"
 
 	"autorfm/internal/dram"
@@ -25,17 +26,18 @@ func Example() {
 	auto := base
 	auto.Mode, auto.TH, auto.Mapping = dram.ModeAutoRFM, 4, "rubix"
 
+	ctx := context.Background()
 	pool := runner.New(4)
-	results, err := pool.RunAll([]sim.Config{base, rfm, auto})
-	if err != nil {
+	results, errs := pool.RunAll(ctx, []sim.Config{base, rfm, auto})
+	if err := runner.FirstError(errs); err != nil {
 		panic(err)
 	}
 	fmt.Println("jobs:", len(results))
 	fmt.Println("RFM-4 slower than AutoRFM-4:",
 		sim.Slowdown(results[0], results[1]) > sim.Slowdown(results[0], results[2]))
 
-	if _, err := pool.RunAll([]sim.Config{base, rfm, auto}); err != nil {
-		panic(err)
+	if _, errs := pool.RunAll(ctx, []sim.Config{base, rfm, auto}); runner.FirstError(errs) != nil {
+		panic(runner.FirstError(errs))
 	}
 	hits, misses := pool.CacheStats()
 	fmt.Printf("cache: %d hits, %d simulations\n", hits, misses)

@@ -19,19 +19,67 @@
 // Results are memoized under sim.Config.Key(), which covers every
 // simulation-relevant field after normalizing defaults (workload profile,
 // cores, instructions, mechanism, TH, mapping, policy, tracker, PRACETh,
-// retry wait, RAA factor, prefetch degree, seed). In-flight deduplication
-// is singleflight-style: if two jobs with the same key are submitted
-// concurrently, one simulation runs and both receive its result. Configs
-// with a NewStream override have no key and are executed unconditionally.
+// retry wait, RAA factor, prefetch degree, seed, fault config). In-flight
+// deduplication is singleflight-style: if two jobs with the same key are
+// submitted concurrently, one simulation runs and both receive its result.
+// Configs with a NewStream override have no key and are executed
+// unconditionally.
+//
+// # Failure isolation
+//
+// A job that panics does not tear down the sweep: the panic is recovered
+// per job and converted to a *PanicError carrying the config key and the
+// stack, so the remaining jobs complete and the caller decides how to
+// render the failure. Errors (including panics) are memoized like results
+// — resubmitting a deterministic failure reproduces the error without
+// re-running the simulation. The exception is cancellation: entries whose
+// job was cut short by the caller's context are evicted, so a resumed
+// sweep re-executes them.
+//
+// # Checkpoint/resume
+//
+// WriteCheckpoints streams every newly simulated result to a JSON-lines
+// sink as it completes; LoadCheckpoint preloads a pool's cache from such a
+// stream. Because results round-trip exactly through JSON and the cache is
+// keyed by config, a sweep killed mid-run and resumed from its checkpoint
+// produces byte-identical output to an uninterrupted run.
 package runner
 
 import (
+	"context"
+	"fmt"
+	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"autorfm/internal/sim"
 )
+
+// PanicError is a recovered per-job panic, converted to an error so one
+// crashing simulation cannot tear down a whole sweep.
+type PanicError struct {
+	Key   string      // sim.Config.Key() of the failed job ("" if uncacheable)
+	Value interface{} // the value the job panicked with
+	Stack []byte      // goroutine stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job panicked: %v", e.Value)
+}
+
+// FirstError returns the first non-nil error in input order, or nil. It is
+// the standard reduction over RunAll's per-job error slice for callers that
+// only need fail-fast semantics.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Progress is a snapshot of a pool's job accounting, delivered to the
 // OnProgress callback after every job completes.
@@ -44,8 +92,9 @@ type Progress struct {
 	CacheHits int
 	// Elapsed is the time since the pool ran its first job.
 	Elapsed time.Duration
-	// ETA estimates the remaining time from the mean per-job cost so
-	// far; zero when nothing is pending.
+	// ETA estimates the remaining time from the mean cost of the jobs
+	// actually simulated so far; zero when nothing is pending or no job
+	// has been simulated yet (cache hits carry no timing signal).
 	ETA time.Duration
 }
 
@@ -58,10 +107,20 @@ type Pool struct {
 	// called from multiple goroutines, but never concurrently.
 	OnProgress func(Progress)
 
+	// JobTimeout, when > 0, bounds each job's wall-clock time: a job
+	// exceeding it fails with context.DeadlineExceeded while the rest of
+	// the sweep proceeds. Unlike caller cancellation, a timeout is a
+	// deterministic property of the job and is memoized like any error.
+	// Set it before submitting jobs.
+	JobTimeout time.Duration
+
 	sem chan struct{} // bounds concurrent simulations
 
 	mu    sync.Mutex // guards cache
 	cache map[string]*entry
+
+	cmu sync.Mutex // guards cw
+	cw  io.Writer  // checkpoint sink, nil when disabled
 
 	pmu       sync.Mutex // guards progress counters and OnProgress calls
 	done      int
@@ -101,16 +160,16 @@ func (p *Pool) CacheStats() (hits, misses int) {
 }
 
 // Run executes one job, consulting the cache first. Concurrent callers
-// are bounded by the pool's worker count.
-func (p *Pool) Run(cfg sim.Config) (sim.Result, error) {
+// are bounded by the pool's worker count. A panicking job returns a
+// *PanicError; a job cut short by ctx returns ctx's error and is not
+// memoized, so a later submission (e.g. a resumed sweep) re-executes it.
+func (p *Pool) Run(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 	p.jobSubmitted()
 
 	key := cfg.Key()
 	if key == "" {
 		// Uncacheable (caller-supplied stream): run directly.
-		p.sem <- struct{}{}
-		res, err := sim.Run(cfg)
-		<-p.sem
+		res, err := p.simulate(ctx, cfg, key)
 		p.jobDone(false)
 		return res, err
 	}
@@ -118,27 +177,67 @@ func (p *Pool) Run(cfg sim.Config) (sim.Result, error) {
 	p.mu.Lock()
 	if e, ok := p.cache[key]; ok {
 		p.mu.Unlock()
-		<-e.ready
-		p.jobDone(true)
-		return e.res, e.err
+		select {
+		case <-e.ready:
+			p.jobDone(true)
+			return e.res, e.err
+		case <-ctx.Done():
+			p.jobDone(false)
+			return sim.Result{}, ctx.Err()
+		}
 	}
 	e := &entry{ready: make(chan struct{})}
 	p.cache[key] = e
 	p.mu.Unlock()
 
-	p.sem <- struct{}{}
-	e.res, e.err = sim.Run(cfg)
-	<-p.sem
+	e.res, e.err = p.simulate(ctx, cfg, key)
+	if e.err != nil && ctx.Err() != nil {
+		// Caller cancellation is not a property of the job; evict so a
+		// resumed sweep re-runs it. Waiters still receive the error.
+		p.mu.Lock()
+		delete(p.cache, key)
+		p.mu.Unlock()
+	}
 	close(e.ready)
 	p.jobDone(false)
 	return e.res, e.err
 }
 
-// RunAll executes the jobs in parallel and returns their results in input
-// order, regardless of completion order. If any job fails, the first
-// error in input order is returned (results of successful jobs are still
-// filled in).
-func (p *Pool) RunAll(cfgs []sim.Config) ([]sim.Result, error) {
+// simulate runs one job on a worker slot, recovering panics into
+// *PanicError, applying the per-job timeout, and checkpointing successful
+// results.
+func (p *Pool) simulate(ctx context.Context, cfg sim.Config, key string) (res sim.Result, err error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return sim.Result{}, ctx.Err()
+	}
+	defer func() { <-p.sem }()
+
+	if p.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			res = sim.Result{}
+			err = &PanicError{Key: key, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	res, err = sim.RunCtx(ctx, cfg)
+	if err == nil {
+		p.checkpoint(key, res)
+	}
+	return res, err
+}
+
+// RunAll executes the jobs in parallel and returns their results and
+// errors in input order, regardless of completion order: errs[i] is nil
+// exactly when results[i] is valid. Failed jobs do not prevent the others
+// from completing; reduce the slice with FirstError for fail-fast
+// semantics.
+func (p *Pool) RunAll(ctx context.Context, cfgs []sim.Config) ([]sim.Result, []error) {
 	results := make([]sim.Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var wg sync.WaitGroup
@@ -146,16 +245,11 @@ func (p *Pool) RunAll(cfgs []sim.Config) ([]sim.Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = p.Run(cfgs[i])
+			results[i], errs[i] = p.Run(ctx, cfgs[i])
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return results, errs
 }
 
 func (p *Pool) jobSubmitted() {
@@ -174,19 +268,34 @@ func (p *Pool) jobDone(cached bool) {
 		p.hits++
 	}
 	cb := p.OnProgress
-	var snap Progress
 	if cb != nil {
-		snap = Progress{
+		snap := Progress{
 			Done:      p.done,
 			Total:     p.submitted,
 			CacheHits: p.hits,
 			Elapsed:   time.Since(p.started),
 		}
-		if p.done > 0 && snap.Total > snap.Done {
-			perJob := snap.Elapsed / time.Duration(p.done)
-			snap.ETA = perJob * time.Duration(snap.Total-snap.Done)
-		}
+		snap.ETA = estimateETA(p.done, p.hits, p.submitted, snap.Elapsed)
 		cb(snap)
 	}
 	p.pmu.Unlock()
+}
+
+// estimateETA predicts the remaining wall-clock time of a sweep from the
+// mean cost of the jobs simulated so far. Cache hits are excluded from the
+// per-job cost (they complete in microseconds and would collapse the
+// estimate), so an all-hits prefix yields no estimate rather than a bogus
+// one. Returns 0 — "no estimate" — when nothing is pending, nothing has
+// been simulated, or the clock hasn't advanced; never negative.
+func estimateETA(done, hits, total int, elapsed time.Duration) time.Duration {
+	pending := total - done
+	simulated := done - hits
+	if pending <= 0 || simulated <= 0 || elapsed <= 0 {
+		return 0
+	}
+	eta := elapsed / time.Duration(simulated) * time.Duration(pending)
+	if eta < 0 {
+		return 0
+	}
+	return eta
 }

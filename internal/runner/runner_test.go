@@ -1,11 +1,18 @@
 package runner
 
 import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"autorfm/internal/cpu"
+	"autorfm/internal/dram"
+	"autorfm/internal/fault"
 	"autorfm/internal/sim"
 	"autorfm/internal/workload"
 )
@@ -39,9 +46,10 @@ func TestRunAllOrderAndDeterminism(t *testing.T) {
 		}
 		want[i] = w
 	}
+	ctx := context.Background()
 	for _, workers := range []int{1, 8} {
-		got, err := New(workers).RunAll(jobs)
-		if err != nil {
+		got, errs := New(workers).RunAll(ctx, jobs)
+		if err := FirstError(errs); err != nil {
 			t.Fatal(err)
 		}
 		for i := range jobs {
@@ -56,20 +64,21 @@ func TestRunAllOrderAndDeterminism(t *testing.T) {
 // TestCacheDeduplicates: identical configs — including ones that only
 // normalize equal — are simulated once.
 func TestCacheDeduplicates(t *testing.T) {
+	ctx := context.Background()
 	p := New(4)
 	base := cfg(t, "bwaves", nil)
 	defaulted := base
 	defaulted.Cores = 8 // the default; must share base's cache key
 	jobs := []sim.Config{base, base, defaulted, base}
-	if _, err := p.RunAll(jobs); err != nil {
-		t.Fatal(err)
+	if _, errs := p.RunAll(ctx, jobs); FirstError(errs) != nil {
+		t.Fatal(FirstError(errs))
 	}
 	hits, misses := p.CacheStats()
 	if misses != 1 || hits != 3 {
 		t.Fatalf("hits=%d misses=%d, want 3/1", hits, misses)
 	}
 	// A second round is fully cached.
-	if _, err := p.Run(base); err != nil {
+	if _, err := p.Run(ctx, base); err != nil {
 		t.Fatal(err)
 	}
 	if hits, misses = p.CacheStats(); misses != 1 || hits != 4 {
@@ -79,6 +88,7 @@ func TestCacheDeduplicates(t *testing.T) {
 
 // TestUncacheableStream: a NewStream config has no key and always runs.
 func TestUncacheableStream(t *testing.T) {
+	ctx := context.Background()
 	p := New(2)
 	c := cfg(t, "bwaves", func(c *sim.Config) {
 		c.Cores = 1
@@ -89,8 +99,8 @@ func TestUncacheableStream(t *testing.T) {
 	if c.Key() != "" {
 		t.Fatal("NewStream config has a cache key")
 	}
-	if _, err := p.RunAll([]sim.Config{c, c}); err != nil {
-		t.Fatal(err)
+	if _, errs := p.RunAll(ctx, []sim.Config{c, c}); FirstError(errs) != nil {
+		t.Fatal(FirstError(errs))
 	}
 	if hits, misses := p.CacheStats(); hits != 0 || misses != 2 {
 		t.Fatalf("hits=%d misses=%d, want 0/2", hits, misses)
@@ -98,29 +108,109 @@ func TestUncacheableStream(t *testing.T) {
 }
 
 // TestErrorPropagates: a bad config fails its job without poisoning the
-// others, and RunAll reports the first error in input order.
+// others, and the error slice pinpoints which job failed.
 func TestErrorPropagates(t *testing.T) {
+	ctx := context.Background()
 	p := New(2)
 	jobs := []sim.Config{
 		cfg(t, "bwaves", nil),
 		cfg(t, "bwaves", func(c *sim.Config) { c.Tracker = "bogus" }),
 	}
-	res, err := p.RunAll(jobs)
-	if err == nil || !strings.Contains(err.Error(), "bogus") {
-		t.Fatalf("err = %v", err)
+	res, errs := p.RunAll(ctx, jobs)
+	if errs[0] != nil {
+		t.Fatalf("healthy job failed: %v", errs[0])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "bogus") {
+		t.Fatalf("errs[1] = %v", errs[1])
+	}
+	if err := FirstError(errs); err != errs[1] {
+		t.Fatalf("FirstError = %v, want errs[1]", err)
 	}
 	if res[0].MC.Acts == 0 {
 		t.Error("healthy job did not complete")
 	}
 	// The failure is cached too: re-running returns the same error.
-	if _, err2 := p.Run(jobs[1]); err2 == nil {
+	if _, err2 := p.Run(ctx, jobs[1]); err2 == nil {
 		t.Error("cached failure did not re-report its error")
+	}
+}
+
+// TestPanicIsolation: a job that panics mid-simulation becomes a
+// *PanicError carrying the config key and stack; sibling jobs complete.
+func TestPanicIsolation(t *testing.T) {
+	ctx := context.Background()
+	p := New(2)
+	doomed := cfg(t, "bwaves", func(c *sim.Config) {
+		c.Mode, c.TH = dram.ModeAutoRFM, 4
+		c.Fault = fault.Config{PanicAfterActs: 1}
+	})
+	jobs := []sim.Config{cfg(t, "bwaves", nil), doomed, cfg(t, "mcf", nil)}
+	res, errs := p.RunAll(ctx, jobs)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("sibling jobs failed: %v / %v", errs[0], errs[2])
+	}
+	if res[0].MC.Acts == 0 || res[2].MC.Acts == 0 {
+		t.Fatal("sibling jobs did not complete")
+	}
+	var pe *PanicError
+	if !errors.As(errs[1], &pe) {
+		t.Fatalf("errs[1] = %v (%T), want *PanicError", errs[1], errs[1])
+	}
+	if pe.Key != doomed.Key() {
+		t.Errorf("PanicError.Key = %q, want %q", pe.Key, doomed.Key())
+	}
+	if !strings.Contains(string(pe.Stack), "OnActivation") {
+		t.Error("PanicError.Stack does not reach the panic site")
+	}
+	if !strings.Contains(pe.Error(), "injected tracker panic") {
+		t.Errorf("PanicError.Error() = %q", pe.Error())
+	}
+	// Deterministic panics are memoized like any failure.
+	if _, err := p.Run(ctx, doomed); !errors.As(err, &pe) {
+		t.Errorf("cached panic came back as %v", err)
+	}
+	if hits, misses := p.CacheStats(); hits != 1 || misses != 3 {
+		t.Errorf("hits=%d misses=%d, want 1/3", hits, misses)
+	}
+}
+
+// TestCancellation: a cancelled context stops in-flight jobs promptly,
+// reports ctx.Err(), and does not poison the cache — resubmitting the
+// cancelled config re-runs it to completion.
+func TestCancellation(t *testing.T) {
+	p := New(1)
+	job := cfg(t, "bwaves", func(c *sim.Config) { c.InstructionsPerCore = 5_000_000 })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx, job); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The eviction means a fresh context re-runs the job for real.
+	quick := cfg(t, "bwaves", nil)
+	if _, err := p.Run(context.Background(), quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobTimeout: a job exceeding JobTimeout fails with DeadlineExceeded
+// while an untimed sibling completes.
+func TestJobTimeout(t *testing.T) {
+	p := New(2)
+	p.JobTimeout = time.Millisecond
+	slow := cfg(t, "bwaves", func(c *sim.Config) { c.InstructionsPerCore = 50_000_000 })
+	if _, err := p.Run(context.Background(), slow); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	p2 := New(2) // fresh pool without the timeout
+	if _, err := p2.Run(context.Background(), cfg(t, "bwaves", nil)); err != nil {
+		t.Fatal(err)
 	}
 }
 
 // TestProgressAccounting: every submitted job produces exactly one
 // progress callback, with monotonically complete final state.
 func TestProgressAccounting(t *testing.T) {
+	ctx := context.Background()
 	p := New(4)
 	var mu sync.Mutex
 	var last Progress
@@ -136,10 +226,120 @@ func TestProgressAccounting(t *testing.T) {
 		cfg(t, "bwaves", nil), // cache hit
 		cfg(t, "mcf", nil),
 	}
-	if _, err := p.RunAll(jobs); err != nil {
-		t.Fatal(err)
+	if _, errs := p.RunAll(ctx, jobs); FirstError(errs) != nil {
+		t.Fatal(FirstError(errs))
 	}
 	if calls != 3 || last.Done != 3 || last.Total != 3 || last.CacheHits != 1 {
 		t.Fatalf("calls=%d last=%+v", calls, last)
+	}
+}
+
+// TestEstimateETA: the estimator must survive the edge cases that used to
+// produce divisions by zero and negative ETAs.
+func TestEstimateETA(t *testing.T) {
+	cases := []struct {
+		name                string
+		done, hits, total   int
+		elapsed             time.Duration
+		want                time.Duration
+		wantZero, wantAbove bool
+	}{
+		{name: "nothing done", done: 0, hits: 0, total: 10, elapsed: 0, wantZero: true},
+		{name: "all cache hits", done: 5, hits: 5, total: 10, elapsed: time.Millisecond, wantZero: true},
+		{name: "nothing pending", done: 10, hits: 2, total: 10, elapsed: time.Second, wantZero: true},
+		{name: "clock not advanced", done: 3, hits: 0, total: 10, elapsed: 0, wantZero: true},
+		{name: "half done", done: 5, hits: 0, total: 10, elapsed: 10 * time.Second, want: 10 * time.Second},
+		{name: "hits excluded", done: 6, hits: 4, total: 10, elapsed: 10 * time.Second, want: 20 * time.Second},
+		{name: "overshoot clamped", done: 11, hits: 0, total: 10, elapsed: time.Second, wantZero: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := estimateETA(tc.done, tc.hits, tc.total, tc.elapsed)
+			if got < 0 {
+				t.Fatalf("negative ETA %v", got)
+			}
+			if tc.wantZero && got != 0 {
+				t.Fatalf("got %v, want 0", got)
+			}
+			if !tc.wantZero && got != tc.want {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckpointRoundTrip: results checkpointed by one pool preload
+// another pool's cache and are served as byte-for-byte identical results
+// without re-simulation.
+func TestCheckpointRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	jobs := []sim.Config{
+		cfg(t, "bwaves", nil),
+		cfg(t, "mcf", nil),
+	}
+
+	var ckpt bytes.Buffer
+	p1 := New(2)
+	p1.WriteCheckpoints(&ckpt)
+	want, errs := p1.RunAll(ctx, jobs)
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Len() == 0 {
+		t.Fatal("no checkpoint records written")
+	}
+
+	p2 := New(2)
+	n, err := p2.LoadCheckpoint(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(jobs) {
+		t.Fatalf("loaded %d records, want %d", n, len(jobs))
+	}
+	got, errs := p2.RunAll(ctx, jobs)
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("job %d: resumed result differs:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	if hits, misses := p2.CacheStats(); hits != len(jobs) || misses != 0 {
+		t.Fatalf("resumed pool simulated: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestCheckpointSkipsDamage: truncated trailing lines (a kill mid-write)
+// and records with stale keys are skipped; intact records still load.
+func TestCheckpointSkipsDamage(t *testing.T) {
+	ctx := context.Background()
+	job := cfg(t, "bwaves", nil)
+	var ckpt bytes.Buffer
+	p1 := New(1)
+	p1.WriteCheckpoints(&ckpt)
+	if _, err := p1.Run(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+
+	damaged := bytes.Buffer{}
+	damaged.WriteString("{\"key\":\"stale-key\",\"result\":{}}\n") // key mismatch
+	damaged.Write(ckpt.Bytes())                                    // intact record
+	damaged.WriteString("{\"key\":\"trunc")                        // torn final write
+
+	p2 := New(1)
+	n, err := p2.LoadCheckpoint(&damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d records, want 1", n)
+	}
+	if _, err := p2.Run(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := p2.CacheStats(); hits != 1 {
+		t.Fatal("intact record was not served from cache")
 	}
 }

@@ -26,13 +26,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"autorfm/internal/cache"
 	"autorfm/internal/clk"
 	"autorfm/internal/cpu"
 	"autorfm/internal/dram"
 	"autorfm/internal/event"
+	"autorfm/internal/fault"
 	"autorfm/internal/mapping"
 	"autorfm/internal/memctrl"
 	"autorfm/internal/mitigation"
@@ -74,11 +77,18 @@ type Config struct {
 	PrefetchDegree int
 	// Seed makes the whole run deterministic.
 	Seed uint64
+	// Fault configures deterministic fault injection on the tracker and
+	// mitigation-delivery path (see internal/fault). The zero value injects
+	// nothing; a non-zero config participates in the memoization key, so a
+	// faulty run caches independently of its clean counterpart.
+	Fault fault.Config
 	// NewStream, when set, overrides the synthetic workload generator: core
 	// i executes NewStream(i). Used to replay recorded traces
 	// (workload.TraceReader) or custom streams; the Workload profile is then
-	// only used for LLC pre-warming.
-	NewStream func(core int) cpu.Stream
+	// only used for LLC pre-warming. Excluded from JSON so Results remain
+	// checkpoint-serializable (such configs are never checkpointed anyway:
+	// they have no cache key).
+	NewStream func(core int) cpu.Stream `json:"-"`
 }
 
 func (c *Config) fillDefaults() {
@@ -130,10 +140,67 @@ func (c Config) Key() string {
 		return ""
 	}
 	n := c.Normalized()
-	return fmt.Sprintf("w=%+v|cores=%d|instr=%d|mode=%d|th=%d|map=%s|pol=%s|trk=%s|eth=%d|retry=%d|raa=%d|pf=%d|seed=%d",
+	return fmt.Sprintf("w=%+v|cores=%d|instr=%d|mode=%d|th=%d|map=%s|pol=%s|trk=%s|eth=%d|retry=%d|raa=%d|pf=%d|seed=%d|fault=%+v",
 		n.Workload, n.Cores, n.InstructionsPerCore, n.Mode, n.TH, n.Mapping,
 		n.Policy, n.Tracker, n.PRACETh, n.RetryWaitNS, n.RAAMaxFactor,
-		n.PrefetchDegree, n.Seed)
+		n.PrefetchDegree, n.Seed, n.Fault)
+}
+
+// validate rejects every user-reachable misconfiguration as an error, so
+// Run never panics on bad input (enforced by FuzzConfigValidate). It runs
+// after fillDefaults, so zero values have already taken their defaults and
+// only genuinely invalid values (negatives, NaNs, unknown names) trip it.
+func (c *Config) validate() error {
+	switch c.Mode {
+	case dram.ModeNone, dram.ModeRFM, dram.ModeAutoRFM, dram.ModePRAC:
+	default:
+		return fmt.Errorf("sim: unknown mechanism %v", c.Mode)
+	}
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: non-positive core count %d", c.Cores)
+	}
+	if c.InstructionsPerCore < 1 {
+		return fmt.Errorf("sim: non-positive instruction target %d", c.InstructionsPerCore)
+	}
+	if c.TH < 1 {
+		return fmt.Errorf("sim: non-positive mitigation threshold TH=%d", c.TH)
+	}
+	if c.PRACETh < 1 {
+		return fmt.Errorf("sim: non-positive PRAC alert threshold %d", c.PRACETh)
+	}
+	if c.RetryWaitNS < 0 {
+		return fmt.Errorf("sim: negative retry wait %dns", c.RetryWaitNS)
+	}
+	if c.RAAMaxFactor < 0 {
+		return fmt.Errorf("sim: negative RAA ceiling factor %d", c.RAAMaxFactor)
+	}
+	w := c.Workload
+	if math.IsNaN(w.MemPKI) || w.MemPKI <= 0 || w.MemPKI > 1000 {
+		return fmt.Errorf("sim: workload %q MemPKI %v outside (0, 1000]", w.Name, w.MemPKI)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"WriteFrac", w.WriteFrac}, {"SeqFrac", w.SeqFrac}, {"DepFrac", w.DepFrac}} {
+		if math.IsNaN(f.v) || f.v < 0 || f.v > 1 {
+			return fmt.Errorf("sim: workload %q %s %v outside [0, 1]", w.Name, f.name, f.v)
+		}
+	}
+	if w.FootprintMB < 1 || w.FootprintMB > 1<<20 {
+		return fmt.Errorf("sim: workload %q footprint %d MB outside [1, 1Mi]", w.Name, w.FootprintMB)
+	}
+	if w.Streams < 0 || w.Streams > 1<<16 {
+		return fmt.Errorf("sim: workload %q stream count %d outside [0, 64Ki]", w.Name, w.Streams)
+	}
+	if w.Burst < 0 || w.Burst > 1<<20 {
+		return fmt.Errorf("sim: workload %q burst %d outside [0, 1Mi]", w.Name, w.Burst)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	// Unknown mapping, policy and tracker names error in Run itself, where
+	// the instances are built.
+	return nil
 }
 
 // Result collects everything a run produced.
@@ -151,7 +218,28 @@ type Result struct {
 
 // Run executes one configuration to completion.
 func Run(cfg Config) (Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the event loop polls ctx
+// every few thousand events and returns ctx's error when it fires, so a
+// cancelled or timed-out run stops within microseconds of simulated work
+// instead of running to completion. A cancelled run returns no partial
+// Result — determinism is per complete run.
+func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	// Chaos injection happens before any simulation work so induced job
+	// deaths are cheap and deterministic per job identity.
+	if cfg.Fault.ChaosProb > 0 {
+		id := cfg.Key()
+		if id == "" {
+			id = fmt.Sprintf("stream:%s/%d", cfg.Workload.Name, cfg.Seed)
+		}
+		fault.MaybeChaosPanic(cfg.Fault, id)
+	}
 	geo := mapping.Default()
 	timing := clk.DDR5()
 	if cfg.Mode == dram.ModePRAC {
@@ -171,10 +259,15 @@ func Run(cfg Config) (Result, error) {
 		PRACETh: cfg.PRACETh,
 		Seed:    cfg.Seed,
 	}
+	// Validate the policy name here so an unknown policy is a returned
+	// error, not a panic inside the per-bank constructor below.
+	if _, err := mitigation.ByName(cfg.Policy, rng.New(0)); err != nil {
+		return Result{}, err
+	}
 	dcfg.NewPolicy = func(bank int, r *rng.Source) mitigation.Policy {
 		p, perr := mitigation.ByName(cfg.Policy, r)
 		if perr != nil {
-			panic(perr)
+			panic(perr) // unreachable: the name was validated above
 		}
 		return p
 	}
@@ -207,6 +300,17 @@ func Run(cfg Config) (Result, error) {
 		}
 	default:
 		return Result{}, fmt.Errorf("sim: unknown tracker %q", cfg.Tracker)
+	}
+	if cfg.Fault.Active() {
+		// Interpose the fault injectors between the device and its trackers.
+		// Each bank's injector has its own PRNG off Fault.Seed so the fault
+		// pattern is independent of the simulation's randomness.
+		inner := dcfg.NewTracker
+		fcfg := cfg.Fault
+		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
+			fr := rng.New(fcfg.Seed ^ cfg.Seed ^ (0xfa017<<20 | uint64(bank)*0x9e3779b9))
+			return fault.WrapTracker(inner(bank, r), fcfg, fr)
+		}
 	}
 
 	dev := dram.NewDevice(dcfg)
@@ -261,7 +365,24 @@ func Run(cfg Config) (Result, error) {
 		}
 		return true
 	}
-	q.Run(allDone)
+	// Poll ctx only every 4096 events: ctx.Err takes a lock, and the event
+	// loop dispatches tens of millions of events per simulated millisecond.
+	events := 0
+	cancelled := false
+	q.Run(func() bool {
+		if allDone() {
+			return true
+		}
+		events++
+		if events&0xfff == 0 && ctx.Err() != nil {
+			cancelled = true
+			return true
+		}
+		return false
+	})
+	if cancelled {
+		return Result{}, fmt.Errorf("sim: run cancelled at t=%v: %w", q.Now(), ctx.Err())
+	}
 
 	res := Result{
 		Config:      cfg,
