@@ -28,12 +28,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -42,6 +44,68 @@ import (
 	"autorfm/internal/fault"
 	"autorfm/internal/runner"
 )
+
+// benchExperiment is one experiment's cost in a -benchjson report. Counter
+// fields are deltas over the experiment: jobs actually simulated vs served
+// from the pool cache, discrete events dispatched by the simulated jobs, and
+// heap allocations (runtime.MemStats.Mallocs, so process-wide — meaningful
+// at -j 1, indicative otherwise).
+type benchExperiment struct {
+	ID           string  `json:"id"`
+	WallNS       int64   `json:"wall_ns"`
+	SimJobs      int     `json:"sim_jobs"`
+	CacheHits    int     `json:"cache_hits"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NSPerEvent   float64 `json:"ns_per_event"`
+	Allocs       uint64  `json:"allocs"`
+}
+
+// benchReport is the -benchjson document: schema "autorfm-bench/v1". The
+// optional Reference block is not emitted by the tool; it is filled in when
+// a report is committed as a BENCH_*.json trajectory point, with the same
+// measurements taken on the predecessor commit (see docs/PERF.md).
+type benchReport struct {
+	Schema      string            `json:"schema"`
+	Go          string            `json:"go"`
+	Scale       string            `json:"scale"`
+	Jobs        int               `json:"jobs"`
+	Experiments []benchExperiment `json:"experiments"`
+	Total       benchExperiment   `json:"total"`
+	Reference   json.RawMessage   `json:"reference,omitempty"`
+}
+
+// benchCounters snapshots the deltas benchExperiment is built from.
+type benchCounters struct {
+	hits, misses int
+	events       int64
+	mallocs      uint64
+}
+
+func readBenchCounters(pool *runner.Pool) benchCounters {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h, m := pool.CacheStats()
+	return benchCounters{hits: h, misses: m, events: pool.SimulatedEvents(), mallocs: ms.Mallocs}
+}
+
+func benchDelta(id string, wall time.Duration, pre, post benchCounters) benchExperiment {
+	e := benchExperiment{
+		ID:        id,
+		WallNS:    wall.Nanoseconds(),
+		SimJobs:   post.misses - pre.misses,
+		CacheHits: post.hits - pre.hits,
+		Events:    post.events - pre.events,
+		Allocs:    post.mallocs - pre.mallocs,
+	}
+	if wall > 0 {
+		e.EventsPerSec = float64(e.Events) / wall.Seconds()
+	}
+	if e.Events > 0 {
+		e.NSPerEvent = float64(e.WallNS) / float64(e.Events)
+	}
+	return e
+}
 
 func main() {
 	os.Exit(run())
@@ -66,8 +130,40 @@ func run() int {
 		bitFlip   = flag.Float64("fault-bitflip", 0, "per-ACT probability of a single-bit row-address flip in the tracker")
 		dropMit   = flag.Float64("fault-drop", 0, "probability a tracker nomination is dropped before the victim refreshes")
 		delayMit  = flag.Float64("fault-delay", 0, "probability a nomination is deferred one mitigation slot")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+		benchJSON  = flag.String("benchjson", "", "write per-experiment timing/allocation counters to this file as JSON (schema autorfm-bench/v1)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range autorfm.Experiments() {
@@ -173,11 +269,15 @@ func run() int {
 	// Emit everything that computes; fail only at the end. A cancelled run
 	// stops submitting but keeps what it already printed.
 	failed := 0
+	var benchRows []benchExperiment
+	benchStart := time.Now()
+	benchPre := readBenchCounters(pool)
 	for _, e := range todo {
 		if ctx.Err() != nil {
 			break
 		}
 		start := time.Now()
+		pre := readBenchCounters(pool)
 		res, err := e.Run(sc)
 		if !*quiet {
 			fmt.Fprint(os.Stderr, "\r\033[K")
@@ -187,9 +287,28 @@ func run() int {
 			failed++
 			continue
 		}
+		benchRows = append(benchRows, benchDelta(e.ID, time.Since(start), pre, readBenchCounters(pool)))
 		fmt.Println(res)
 		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		failed += len(res.Failures)
+	}
+	if *benchJSON != "" {
+		rep := benchReport{
+			Schema:      "autorfm-bench/v1",
+			Go:          runtime.Version(),
+			Scale:       *scale,
+			Jobs:        pool.Workers(),
+			Experiments: benchRows,
+			Total:       benchDelta("total", time.Since(benchStart), benchPre, readBenchCounters(pool)),
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchJSON, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *benchJSON, err)
+			failed++
+		}
 	}
 	if hits, misses := pool.CacheStats(); hits > 0 {
 		fmt.Fprintf(os.Stderr, "%d simulations run, %d served from cache (-j %d)\n",

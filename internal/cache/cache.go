@@ -5,6 +5,11 @@
 // controller — these writebacks are real DRAM activations and therefore
 // count toward Rowhammer pressure and RFM accounting, which is why the
 // cache is modelled rather than approximated with a flat miss rate.
+//
+// The miss path is allocation-free at steady state: MSHRs are pooled and
+// carry their DRAM request and its fill callback pre-bound, writebacks
+// draw pooled requests from the controller (SubmitWrite), and the stream
+// detector's recency window is a fixed ring.
 package cache
 
 import (
@@ -61,9 +66,17 @@ type way struct {
 	lru   uint64
 }
 
+// mshr is one outstanding fill: the merged waiters, the DRAM request it
+// rides on, and the fill continuation. MSHRs are pooled; the request's
+// Done callback is bound once at creation and re-armed by resetting line,
+// so a steady-state miss allocates nothing.
 type mshr struct {
-	waiters []func(clk.Tick)
+	c       *Cache
+	line    uint64
 	dirty   bool // a write was merged while the fill was outstanding
+	waiters []func(clk.Tick)
+	req     memctrl.Request
+	next    *mshr // free-list link
 }
 
 // Cache is a shared, single-ported (contention-free) LLC model.
@@ -75,12 +88,15 @@ type Cache struct {
 	q       *event.Queue
 	tick    uint64
 	out     map[uint64]*mshr
+	freeM   *mshr
 
 	// Stream-detector state: the set of recent demand-miss lines, bounded
-	// by a FIFO. A miss to L with L-1 or L-2 recently missed is treated as
-	// part of an ascending stream.
+	// by a FIFO ring. A miss to L with L-1 or L-2 recently missed is
+	// treated as part of an ascending stream.
 	recent     map[uint64]struct{}
-	recentFIFO []uint64
+	recentRing [recentCap]uint64
+	recentHead int // oldest entry, valid when recentN > 0
+	recentN    int
 
 	Stats Stats
 }
@@ -112,17 +128,46 @@ const (
 	recentCap    = 512
 )
 
+// getMSHR takes an MSHR from the free list, binding its fill callback on
+// first creation.
+func (c *Cache) getMSHR(line uint64, dirty bool) *mshr {
+	m := c.freeM
+	if m == nil {
+		m = &mshr{c: c}
+		m.req.Done = func(now clk.Tick) { m.c.fill(m, now) }
+	} else {
+		c.freeM = m.next
+		m.next = nil
+	}
+	m.line, m.dirty = line, dirty
+	m.req.Line, m.req.Write = line, false
+	return m
+}
+
+// putMSHR returns an MSHR to the free list. The waiters slice keeps its
+// capacity (cleared to length 0 by fill), so merges re-use it.
+func (c *Cache) putMSHR(m *mshr) {
+	m.next = c.freeM
+	c.freeM = m
+}
+
 // noteMiss records a demand miss for stream detection and reports whether
-// the miss extends an ascending stream.
+// the miss extends an ascending stream. The recency window is a FIFO over
+// the last recentCap demand misses; insertion precedes eviction, matching
+// the pre-ring slice semantics (append, then drop the front past cap) so
+// duplicate misses age out on their oldest entry.
 func (c *Cache) noteMiss(line uint64) bool {
 	_, a := c.recent[line-1]
 	_, b := c.recent[line-2]
 	c.recent[line] = struct{}{}
-	c.recentFIFO = append(c.recentFIFO, line)
-	if len(c.recentFIFO) > recentCap {
-		old := c.recentFIFO[0]
-		c.recentFIFO = c.recentFIFO[1:]
+	if c.recentN == recentCap {
+		old := c.recentRing[c.recentHead]
 		delete(c.recent, old)
+		c.recentRing[c.recentHead] = line // the evicted slot becomes the newest
+		c.recentHead = (c.recentHead + 1) % recentCap
+	} else {
+		c.recentRing[(c.recentHead+c.recentN)%recentCap] = line
+		c.recentN++
 	}
 	return a || b
 }
@@ -142,13 +187,10 @@ func (c *Cache) prefetch(line uint64) {
 		if c.lookup(pl) {
 			continue
 		}
-		c.out[pl] = &mshr{}
+		m := c.getMSHR(pl, false)
+		c.out[pl] = m
 		c.Stats.Prefetches++
-		target := pl
-		c.mc.Submit(&memctrl.Request{
-			Line: target,
-			Done: func(now clk.Tick) { c.fill(target, now) },
-		})
+		c.mc.Submit(&m.req)
 	}
 }
 
@@ -169,21 +211,36 @@ func (c *Cache) lookup(line uint64) bool {
 func (c *Cache) Warm(line uint64, dirty bool) {
 	set := c.sets[line&c.setMask]
 	c.tick++
+	// One pass: stop at the first free way or duplicate (in way order, as
+	// installation always has), tracking the LRU victim for the full-set
+	// case along the way. Warming touches every line slot of the cache, so
+	// this scan is the dominant cost of prewarm.
+	victim := &set[0]
 	for i := range set {
 		w := &set[i]
 		if !w.valid || w.line == line {
 			*w = way{line: line, valid: true, dirty: dirty, lru: c.tick}
 			return
 		}
-	}
-	// Set full: replace LRU silently.
-	victim := &set[0]
-	for i := 1; i < len(set); i++ {
-		if set[i].lru < victim.lru {
-			victim = &set[i]
+		if w.lru < victim.lru {
+			victim = w
 		}
 	}
 	*victim = way{line: line, valid: true, dirty: dirty, lru: c.tick}
+}
+
+// Occupancy returns the number of valid lines currently installed. It is a
+// full scan intended for tests and warm-up verification, not hot paths.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Access performs one 64B access at the current simulation time. For loads,
@@ -220,24 +277,21 @@ func (c *Cache) Access(line uint64, write bool, done func(clk.Tick)) {
 		return
 	}
 
-	m := &mshr{dirty: write}
+	m := c.getMSHR(line, write)
 	if done != nil {
 		m.waiters = append(m.waiters, done)
 	}
 	c.out[line] = m
-	c.mc.Submit(&memctrl.Request{
-		Line: line,
-		Done: func(now clk.Tick) { c.fill(line, now) },
-	})
+	c.mc.Submit(&m.req)
 	if c.cfg.PrefetchDegree > 0 && c.noteMiss(line) {
 		c.prefetch(line)
 	}
 }
 
 // fill installs the returned line, evicting LRU (writing back if dirty) and
-// waking all merged waiters.
-func (c *Cache) fill(line uint64, now clk.Tick) {
-	m := c.out[line]
+// waking all merged waiters, then recycles the MSHR.
+func (c *Cache) fill(m *mshr, now clk.Tick) {
+	line := m.line
 	delete(c.out, line)
 
 	set := c.sets[line&c.setMask]
@@ -254,19 +308,20 @@ func (c *Cache) fill(line uint64, now clk.Tick) {
 	}
 	if victim.valid && victim.dirty {
 		c.Stats.Writebacks++
-		c.mc.Submit(&memctrl.Request{Line: victim.line, Write: true})
+		c.mc.SubmitWrite(victim.line)
 	}
 	c.tick++
 	*victim = way{line: line, valid: true, dirty: m.dirty, lru: c.tick}
 
 	for _, w := range m.waiters {
 		if c.cfg.MissExtra > 0 {
-			cb := w
-			c.q.After(c.cfg.MissExtra, cb)
+			c.q.After(c.cfg.MissExtra, w)
 		} else {
 			w(now)
 		}
 	}
+	m.waiters = m.waiters[:0]
+	c.putMSHR(m)
 }
 
 // MissRate returns misses / (hits + misses).

@@ -12,6 +12,12 @@
 // stalls when the instruction it wants to dispatch is more than ROB-size
 // instructions ahead of the oldest incomplete load — the classic
 // ROB-window MLP limit.
+//
+// The core's event traffic is allocation-free at steady state: every
+// in-flight memory operation is a pooled memOp scheduled directly as an
+// event.Handler with a completion callback pre-bound at pool-insertion
+// time, the outstanding-load window is a ring buffer sized to the ROB, and
+// the dispatch-resume timer is bound once per core.
 package cpu
 
 import (
@@ -56,9 +62,31 @@ func DefaultConfig(instructions int64) Config {
 	return Config{Width: 4, ROB: 256, Instructions: instructions}
 }
 
-type pendingLoad struct {
-	idx  int64 // instruction index of the load
-	done bool
+// memOp is one in-flight memory operation: its scheduled issue event (it
+// implements event.Handler), and for loads also the ROB entry tracking
+// completion. Ops are free-listed per core; doneFn is bound once when the
+// op is first created, so re-arming an op allocates nothing.
+type memOp struct {
+	c       *Core
+	line    uint64
+	write   bool
+	idx     int64 // instruction index of the load
+	done    bool
+	retired bool // popped from the ROB window while still the dependence target
+	doneFn  func(clk.Tick)
+	next    *memOp // free-list link
+}
+
+// OnEvent issues the access at its scheduled time. Stores are posted and
+// their op retires immediately; loads stay live until doneFn fires.
+func (m *memOp) OnEvent(clk.Tick) {
+	if m.write {
+		c := m.c
+		c.port.Access(m.line, true, nil)
+		c.putOp(m)
+		return
+	}
+	m.c.port.Access(m.line, false, m.doneFn)
 }
 
 // Core is one simulated core.
@@ -73,8 +101,14 @@ type Core struct {
 	tD         clk.Tick // dispatch-frontier virtual time
 	carry      int      // sub-cycle dispatch remainder
 
-	pending  []*pendingLoad // outstanding loads, oldest first
-	lastLoad *pendingLoad   // most recently dispatched load (dependence target)
+	// pending is a ring buffer of outstanding loads, oldest first. Its
+	// capacity is a power of two so head arithmetic is a mask.
+	pending []*memOp
+	head, n int
+
+	lastLoad *memOp // most recently dispatched load (dependence target)
+	freeOps  *memOp // memOp free list
+	adv      *event.Timer
 	rec      Record
 	haveRec  bool
 	blocked  bool // waiting for the ROB head to complete
@@ -84,6 +118,10 @@ type Core struct {
 	Finished bool
 	// FinishTime is the time the last instruction retired.
 	FinishTime clk.Tick
+	// OnFinish, when set, is called exactly once, at the moment Finished
+	// becomes true. The sim package uses it to maintain a finished-core
+	// counter instead of scanning every core per event.
+	OnFinish func()
 
 	// Loads/Stores count issued memory operations.
 	Loads, Stores uint64
@@ -96,22 +134,82 @@ const horizon = clk.Tick(4000) // 1µs
 
 // New creates a core reading from strm and accessing memory through port.
 func New(id int, cfg Config, strm Stream, port MemPort, q *event.Queue) *Core {
-	return &Core{ID: id, cfg: cfg, strm: strm, port: port, q: q}
+	c := &Core{ID: id, cfg: cfg, strm: strm, port: port, q: q}
+	c.adv = event.NewTimer(q, c.advance)
+	return c
 }
 
 // Start begins execution at the current simulation time.
 func (c *Core) Start() {
-	c.q.At(c.q.Now(), func(now clk.Tick) { c.advance(now) })
+	c.adv.At(c.q.Now())
 }
 
 // Retired returns the number of retired instructions (== dispatched for
 // this model once pending loads complete).
 func (c *Core) Retired() int64 { return c.dispatched }
 
-// retireHead pops completed loads from the front of the ROB.
+// getOp takes a memOp from the free list, binding its completion callback
+// on first creation so steady-state reuse allocates nothing.
+func (c *Core) getOp() *memOp {
+	m := c.freeOps
+	if m == nil {
+		m = &memOp{c: c}
+		m.doneFn = func(now clk.Tick) { m.c.complete(m, now) }
+	} else {
+		c.freeOps = m.next
+	}
+	m.next = nil
+	m.done, m.retired = false, false
+	return m
+}
+
+// putOp returns a memOp to the free list. Callers must guarantee no live
+// reference remains (its issue event fired, its completion fired, and it
+// left both the ROB window and the dependence slot).
+func (c *Core) putOp(m *memOp) {
+	m.next = c.freeOps
+	c.freeOps = m
+}
+
+// pushPending appends a load to the ROB window, growing the ring if the
+// configured ROB exceeds the current capacity.
+func (c *Core) pushPending(m *memOp) {
+	if c.n == len(c.pending) {
+		grown := make([]*memOp, max(16, 2*len(c.pending)))
+		for i := 0; i < c.n; i++ {
+			grown[i] = c.pending[(c.head+i)&(len(c.pending)-1)]
+		}
+		c.pending, c.head = grown, 0
+	}
+	c.pending[(c.head+c.n)&(len(c.pending)-1)] = m
+	c.n++
+}
+
+// retireHead pops completed loads from the front of the ROB, recycling
+// each unless it is still the dependence target (recycled on displacement).
 func (c *Core) retireHead() {
-	for len(c.pending) > 0 && c.pending[0].done {
-		c.pending = c.pending[1:]
+	for c.n > 0 {
+		m := c.pending[c.head]
+		if !m.done {
+			return
+		}
+		c.pending[c.head] = nil
+		c.head = (c.head + 1) & (len(c.pending) - 1)
+		c.n--
+		if m != c.lastLoad {
+			c.putOp(m)
+		} else {
+			m.retired = true
+		}
+	}
+}
+
+// finish marks the core done and fires the one-shot completion hook.
+func (c *Core) finish(t clk.Tick) {
+	c.Finished = true
+	c.FinishTime = t
+	if c.OnFinish != nil {
+		c.OnFinish()
 	}
 }
 
@@ -128,9 +226,8 @@ func (c *Core) advance(now clk.Tick) {
 	for {
 		c.retireHead()
 		if c.dispatched >= c.cfg.Instructions {
-			if len(c.pending) == 0 {
-				c.Finished = true
-				c.FinishTime = clk.Max(c.tD, now)
+			if c.n == 0 {
+				c.finish(clk.Max(c.tD, now))
 			}
 			// Otherwise wait for the remaining loads to complete.
 			return
@@ -139,9 +236,8 @@ func (c *Core) advance(now clk.Tick) {
 			rec, ok := c.strm.Next()
 			if !ok {
 				// Stream exhausted: treat as finished at the frontier.
-				if len(c.pending) == 0 {
-					c.Finished = true
-					c.FinishTime = clk.Max(c.tD, now)
+				if c.n == 0 {
+					c.finish(clk.Max(c.tD, now))
 				}
 				return
 			}
@@ -149,9 +245,9 @@ func (c *Core) advance(now clk.Tick) {
 		}
 		// ROB window: the record's memory access would be instruction
 		// dispatched+gap+1; it must be within ROB of the oldest pending.
-		if len(c.pending) > 0 {
+		if c.n > 0 {
 			memIdx := c.dispatched + int64(c.rec.Gap) + 1
-			if memIdx-c.pending[0].idx >= int64(c.cfg.ROB) {
+			if memIdx-c.pending[c.head].idx >= int64(c.cfg.ROB) {
 				c.blocked = true
 				return // resumed by the head load's completion
 			}
@@ -171,24 +267,25 @@ func (c *Core) advance(now clk.Tick) {
 		// Dispatch the memory access.
 		c.dispatched++
 		c.haveRec = false
-		line, write := c.rec.Line, c.rec.Write
 		issueAt := clk.Max(c.tD, now)
-		if write {
+		m := c.getOp()
+		m.line, m.write = c.rec.Line, c.rec.Write
+		if m.write {
 			c.Stores++
-			c.q.At(issueAt, func(clk.Tick) { c.port.Access(line, true, nil) })
 		} else {
 			c.Loads++
-			p := &pendingLoad{idx: c.dispatched}
-			c.pending = append(c.pending, p)
-			c.lastLoad = p
-			c.q.At(issueAt, func(clk.Tick) {
-				c.port.Access(line, false, func(done clk.Tick) { c.complete(p, done) })
-			})
+			m.idx = c.dispatched
+			c.pushPending(m)
+			if old := c.lastLoad; old != nil && old.retired {
+				c.putOp(old)
+			}
+			c.lastLoad = m
 		}
+		c.q.Schedule(issueAt, m)
 		// Yield if the frontier has run far ahead; the queue will deliver
 		// completions and we resume from them, or from this timer.
 		if c.tD > now+horizon {
-			c.q.At(c.tD, func(t clk.Tick) { c.advance(t) })
+			c.adv.At(c.tD)
 			return
 		}
 	}
@@ -197,12 +294,12 @@ func (c *Core) advance(now clk.Tick) {
 // complete marks a load done and resumes the core if the ROB head cleared,
 // a dependent load was waiting on this producer, or the core was done
 // dispatching and waiting on stragglers.
-func (c *Core) complete(p *pendingLoad, now clk.Tick) {
-	p.done = true
+func (c *Core) complete(m *memOp, now clk.Tick) {
+	m.done = true
 	switch {
-	case len(c.pending) > 0 && c.pending[0] == p:
+	case c.n > 0 && c.pending[c.head] == m:
 		c.advance(now)
-	case c.lastLoad == p && c.blocked:
+	case c.lastLoad == m && c.blocked:
 		c.advance(now)
 	case c.dispatched >= c.cfg.Instructions:
 		c.advance(now)

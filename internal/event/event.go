@@ -2,78 +2,210 @@
 // memory-system simulation. Components schedule callbacks at absolute
 // simulation times; the queue dispatches them in time order with a stable
 // FIFO tie-break so runs are deterministic.
+//
+// The queue is built for the simulator's hot path: a hand-rolled typed
+// 4-ary min-heap (no container/heap, no interface{} boxing of items) whose
+// scheduling and dispatch are allocation-free. Items carry a Handler
+// interface; both pooled event objects (pointer receivers) and plain Func
+// callbacks are pointer-shaped, so storing either in an item never
+// allocates. Components with per-event payload implement Handler on
+// free-listed structs they re-arm (see internal/cpu, internal/memctrl,
+// internal/cache); components with a single recurring callback bind it
+// once in a Timer.
 package event
 
 import (
-	"container/heap"
-
 	"autorfm/internal/clk"
 )
 
 // Func is a scheduled callback; it receives the current simulation time.
+// Func itself implements Handler, and func values are pointer-shaped, so
+// scheduling an existing Func value allocates nothing — only constructing
+// a new closure at the call site does.
 type Func func(now clk.Tick)
 
+// OnEvent invokes the callback, making Func a Handler.
+func (f Func) OnEvent(now clk.Tick) { f(now) }
+
+// Handler receives dispatched events. Implementations that want
+// allocation-free scheduling use a pointer receiver on a pooled or
+// long-lived struct, pre-binding any per-event payload in its fields
+// before arming.
+type Handler interface {
+	OnEvent(now clk.Tick)
+}
+
+// Timer is a re-armable handle for a component's recurring callback: the
+// callback is bound once at construction, so re-arming it schedules
+// without allocating. A Timer has no pending/armed state — arming it twice
+// dispatches it twice, exactly like scheduling two closures.
+type Timer struct {
+	q  *Queue
+	fn Func
+}
+
+// NewTimer binds fn to q. The one-time closure allocation happens here;
+// every later At/After is allocation-free.
+func NewTimer(q *Queue, fn Func) *Timer { return &Timer{q: q, fn: fn} }
+
+// OnEvent makes Timer a Handler.
+func (t *Timer) OnEvent(now clk.Tick) { t.fn(now) }
+
+// At arms the timer to fire at absolute time tick.
+func (t *Timer) At(tick clk.Tick) { t.q.Schedule(tick, t) }
+
+// After arms the timer to fire d ticks from now.
+func (t *Timer) After(d clk.Tick) { t.q.Schedule(t.q.now+d, t) }
+
+// item is one scheduled event. The (t, seq) pair totally orders items:
+// time first, then arming order, which preserves the FIFO tie-break the
+// determinism contract requires.
 type item struct {
 	t   clk.Tick
 	seq uint64
-	fn  Func
-}
-
-type itemHeap []item
-
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *itemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	h   Handler
 }
 
 // Queue is a deterministic discrete-event queue. The zero value is ready to
 // use.
+//
+// The heap is 4-ary rather than binary: dispatch-heavy workloads pop far
+// more than they push sifts down, and a wider node trades comparisons
+// (cheap, in-cache) for levels (each a potential cache miss), cutting the
+// depth of every sift-down roughly in half.
+//
+// Events scheduled for the current time (t == Now, e.g. a controller
+// scheduling a pass for a request that just arrived) bypass the heap into a
+// FIFO lane. This is order-exact, not an approximation: every heap entry
+// with t == Now was necessarily armed before the clock reached Now and so
+// carries a smaller sequence number than anything armed at Now, which means
+// "drain same-time heap entries, then the lane, then advance the clock"
+// reproduces the (t, seq) total order while same-time traffic costs O(1)
+// instead of a sift each way.
 type Queue struct {
-	h   itemHeap
-	seq uint64
-	now clk.Tick
+	heap []item
+	seq  uint64
+	now  clk.Tick
+
+	nowQ    []Handler // events armed at the current time, FIFO
+	nowHead int
 }
 
 // Now returns the current simulation time (the time of the last dispatched
 // event).
 func (q *Queue) Now() clk.Tick { return q.now }
 
-// At schedules fn to run at time t. Scheduling in the past (t < Now) is a
-// programming error and panics, since it would silently corrupt causality.
-func (q *Queue) At(t clk.Tick, fn Func) {
-	if t < q.now {
+// Schedule schedules h to run at time t. Scheduling in the past (t < Now)
+// is a programming error and panics, since it would silently corrupt
+// causality. Steady-state scheduling is allocation-free (the heap's
+// backing array is retained across pops).
+func (q *Queue) Schedule(t clk.Tick, h Handler) {
+	if t <= q.now {
+		if t == q.now {
+			q.nowQ = append(q.nowQ, h)
+			return
+		}
 		panic("event: scheduling in the past")
 	}
 	q.seq++
-	heap.Push(&q.h, item{t: t, seq: q.seq, fn: fn})
+	q.heap = append(q.heap, item{t: t, seq: q.seq, h: h})
+	q.siftUp(len(q.heap) - 1)
 }
 
+// At schedules fn to run at time t.
+func (q *Queue) At(t clk.Tick, fn Func) { q.Schedule(t, fn) }
+
 // After schedules fn to run d ticks from now.
-func (q *Queue) After(d clk.Tick, fn Func) { q.At(q.now+d, fn) }
+func (q *Queue) After(d clk.Tick, fn Func) { q.Schedule(q.now+d, fn) }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue) Len() int { return len(q.heap) + len(q.nowQ) - q.nowHead }
+
+// less orders items by (time, arming sequence).
+func less(a, b *item) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap property from leaf i toward the root.
+func (q *Queue) siftUp(i int) {
+	h := q.heap
+	it := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(&it, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = it
+}
+
+// siftDown restores the heap property from the root toward the leaves.
+func (q *Queue) siftDown() {
+	h := q.heap
+	n := len(h)
+	it := h[0]
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if less(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !less(&h[m], &it) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = it
+}
 
 // Step dispatches the next event. It reports false when the queue is empty.
 func (q *Queue) Step() bool {
-	if len(q.h) == 0 {
-		return false
+	n := len(q.heap)
+	// Heap entries at the current time dispatch before the now-lane (they
+	// were armed earlier, so their seq is smaller); then the lane drains;
+	// only then may the clock advance.
+	if n == 0 || q.heap[0].t != q.now {
+		if q.nowHead < len(q.nowQ) {
+			h := q.nowQ[q.nowHead]
+			q.nowQ[q.nowHead] = nil // drop the Handler reference for the GC
+			q.nowHead++
+			if q.nowHead == len(q.nowQ) {
+				q.nowQ = q.nowQ[:0] // drained: reuse the backing array
+				q.nowHead = 0
+			}
+			h.OnEvent(q.now)
+			return true
+		}
+		if n == 0 {
+			return false
+		}
 	}
-	it := heap.Pop(&q.h).(item)
+	it := q.heap[0]
+	last := q.heap[n-1]
+	q.heap[n-1] = item{} // drop the Handler reference for the GC
+	q.heap = q.heap[:n-1]
+	if n > 1 {
+		q.heap[0] = last
+		q.siftDown()
+	}
 	q.now = it.t
-	it.fn(it.t)
+	it.h.OnEvent(it.t)
 	return true
 }
 
@@ -81,7 +213,10 @@ func (q *Queue) Step() bool {
 // after deadline. It returns the number of events dispatched.
 func (q *Queue) RunUntil(deadline clk.Tick) int {
 	n := 0
-	for len(q.h) > 0 && q.h[0].t <= deadline {
+	for q.Len() > 0 {
+		if q.nowHead == len(q.nowQ) && q.heap[0].t > deadline {
+			break // the now-lane is never past the deadline (now <= deadline)
+		}
 		q.Step()
 		n++
 	}
@@ -95,7 +230,7 @@ func (q *Queue) RunUntil(deadline clk.Tick) int {
 // It returns the number of events dispatched.
 func (q *Queue) Run(stop func() bool) int {
 	n := 0
-	for len(q.h) > 0 {
+	for q.Len() > 0 {
 		if stop != nil && stop() {
 			break
 		}

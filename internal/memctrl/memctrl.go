@@ -15,7 +15,12 @@
 //
 // The scheduler is event-driven: each bank re-evaluates what it can issue
 // whenever a request arrives, a timing constraint expires, or a blocking
-// window (REF/RFM/ALERT-retry) ends.
+// window (REF/RFM/ALERT-retry) ends. All of that event traffic is
+// allocation-free at steady state: scheduling passes, deferred
+// mitigations and PRAC back-offs are pooled event.Handler objects re-armed
+// from per-controller free lists, the refresh stream is a pre-bound
+// event.Timer, bank queues are ring buffers, and posted writes draw
+// their Request from a controller-owned pool (SubmitWrite).
 package memctrl
 
 import (
@@ -33,8 +38,10 @@ type Request struct {
 	// (writebacks are posted).
 	Done func(now clk.Tick)
 
-	arrive clk.Tick
-	loc    mapping.Location
+	arrive   clk.Tick
+	loc      mapping.Location
+	pooled   bool     // owned by the controller's write pool; recycled at CAS
+	nextFree *Request // write-pool free-list link
 }
 
 // Config configures the controller.
@@ -68,8 +75,14 @@ type Stats struct {
 }
 
 type bankState struct {
-	id    int
+	id  int
+	sub *subchState // the subchannel this bank shares ACT constraints with
+
+	// queue is a ring buffer of pending requests, oldest at qhead; its
+	// capacity is a power of two so index arithmetic is a mask.
 	queue []*Request
+	qhead int
+	qn    int
 
 	nextAct   clk.Tick // earliest time the next ACT may issue (tRC rule)
 	busyUntil clk.Tick // REF / RFM / ALERT-retry blocking
@@ -82,6 +95,29 @@ type bankState struct {
 	scheduled bool
 	wakeAt    clk.Tick
 	gen       uint64
+}
+
+// push appends req to the bank queue, growing the ring when full.
+func (b *bankState) push(req *Request) {
+	if b.qn == len(b.queue) {
+		grown := make([]*Request, max(16, 2*len(b.queue)))
+		for i := 0; i < b.qn; i++ {
+			grown[i] = b.queue[(b.qhead+i)&(len(b.queue)-1)]
+		}
+		b.queue, b.qhead = grown, 0
+	}
+	b.queue[(b.qhead+b.qn)&(len(b.queue)-1)] = req
+	b.qn++
+}
+
+// front returns the oldest queued request.
+func (b *bankState) front() *Request { return b.queue[b.qhead] }
+
+// pop removes the oldest queued request.
+func (b *bankState) pop() {
+	b.queue[b.qhead] = nil
+	b.qhead = (b.qhead + 1) & (len(b.queue) - 1)
+	b.qn--
 }
 
 // subchState holds per-subchannel rank-level activation constraints.
@@ -105,6 +141,61 @@ func (s *subchState) recordAct(t clk.Tick, tm clk.Timing) {
 	s.ringHead = (s.ringHead + 1) % len(s.actRing)
 }
 
+// wakeEvent is a pooled scheduling pass for one bank. The generation
+// captured at arming time lets a superseded pass die silently, exactly as
+// the old closure-captured gen did.
+type wakeEvent struct {
+	c    *Controller
+	b    *bankState
+	gen  uint64
+	next *wakeEvent
+}
+
+func (w *wakeEvent) OnEvent(now clk.Tick) {
+	c, b, gen := w.c, w.b, w.gen
+	c.putWake(w) // consumed; safe to recycle before dispatching
+	if b.gen != gen {
+		return
+	}
+	b.scheduled = false
+	c.tryIssue(b, now)
+}
+
+// mitEvent is a pooled deferred mitigation start (fires at the precharge
+// point of the ACT that closed a tracker window).
+type mitEvent struct {
+	c    *Controller
+	bank *dram.Bank
+	pt   clk.Tick
+	next *mitEvent
+}
+
+func (m *mitEvent) OnEvent(clk.Tick) {
+	c, bank, pt := m.c, m.bank, m.pt
+	c.putMit(m)
+	bank.StartPendingMitigation(pt)
+}
+
+// pracEvent is a pooled PRAC back-off grant for one bank.
+type pracEvent struct {
+	c    *Controller
+	b    *bankState
+	next *pracEvent
+}
+
+func (p *pracEvent) OnEvent(now clk.Tick) {
+	c, b := p.c, p.b
+	c.putPrac(p)
+	start := clk.Max(now, b.busyUntil)
+	b.busyUntil = start + c.cfg.Timing.TRFM
+	b.nextAct = clk.Max(b.nextAct, b.busyUntil)
+	c.Stats.PRACBackoffs++
+	c.dev.Banks[b.id].ExecutePRACBackoff()
+	if b.qn > 0 {
+		c.wake(b, b.busyUntil)
+	}
+}
+
 // Controller schedules commands for one channel.
 type Controller struct {
 	cfg     Config
@@ -114,6 +205,12 @@ type Controller struct {
 	subch   []*subchState
 	refIdx  uint64
 	pending int // requests admitted but not completed/issued-for-write
+
+	refreshT  *event.Timer
+	freeWake  *wakeEvent
+	freeMit   *mitEvent
+	freePrac  *pracEvent
+	freeWrite *Request // pooled posted-write requests (SubmitWrite)
 
 	Stats Stats
 }
@@ -140,11 +237,15 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) *Controller {
 		}
 		c.subch[i] = sub
 	}
-	c.banks = make([]*bankState, cfg.Mapper.Geometry().Banks)
+	// The bank→subchannel mapping is static; resolving it here keeps
+	// Geometry() — a by-value struct copy — out of the per-wake hot path.
+	geo := cfg.Mapper.Geometry()
+	c.banks = make([]*bankState, geo.Banks)
 	for i := range c.banks {
-		c.banks[i] = &bankState{id: i, openRow: -1}
+		c.banks[i] = &bankState{id: i, sub: c.subch[geo.Subchannel(i)], openRow: -1}
 	}
-	q.At(q.Now()+cfg.Timing.TREFI, c.refresh)
+	c.refreshT = event.NewTimer(q, c.refresh)
+	c.refreshT.At(q.Now() + cfg.Timing.TREFI)
 	return c
 }
 
@@ -158,9 +259,77 @@ func (c *Controller) Submit(req *Request) {
 	req.arrive = now
 	req.loc = c.cfg.Mapper.Map(req.Line)
 	b := c.banks[req.loc.Bank]
-	b.queue = append(b.queue, req)
+	b.push(req)
 	c.pending++
 	c.wake(b, now)
+}
+
+// SubmitWrite admits a posted write, drawing the Request from the
+// controller's pool; it is recycled when the write's CAS issues, so
+// steady-state writeback traffic allocates nothing.
+func (c *Controller) SubmitWrite(line uint64) {
+	req := c.freeWrite
+	if req == nil {
+		req = &Request{pooled: true}
+	} else {
+		c.freeWrite = req.nextFree
+		req.nextFree = nil
+	}
+	req.Line, req.Write, req.Done = line, true, nil
+	c.Submit(req)
+}
+
+// recycleWrite returns a pooled posted-write request to the free list once
+// its CAS has issued and nothing references it.
+func (c *Controller) recycleWrite(req *Request) {
+	req.nextFree = c.freeWrite
+	c.freeWrite = req
+}
+
+// getWake takes a wake event from the free list.
+func (c *Controller) getWake() *wakeEvent {
+	w := c.freeWake
+	if w == nil {
+		return &wakeEvent{c: c}
+	}
+	c.freeWake = w.next
+	w.next = nil
+	return w
+}
+
+func (c *Controller) putWake(w *wakeEvent) {
+	w.next = c.freeWake
+	c.freeWake = w
+}
+
+func (c *Controller) getMit() *mitEvent {
+	m := c.freeMit
+	if m == nil {
+		return &mitEvent{c: c}
+	}
+	c.freeMit = m.next
+	m.next = nil
+	return m
+}
+
+func (c *Controller) putMit(m *mitEvent) {
+	m.next = c.freeMit
+	c.freeMit = m
+}
+
+func (c *Controller) getPrac() *pracEvent {
+	p := c.freePrac
+	if p == nil {
+		return &pracEvent{c: c}
+	}
+	c.freePrac = p.next
+	p.next = nil
+	return p
+}
+
+func (c *Controller) putPrac(p *pracEvent) {
+	p.next = c.freePrac
+	c.freePrac = p
 }
 
 // wake schedules a scheduling pass for bank b at time t, deduplicating so
@@ -172,14 +341,9 @@ func (c *Controller) wake(b *bankState, t clk.Tick) {
 	b.scheduled = true
 	b.wakeAt = t
 	b.gen++
-	gen := b.gen
-	c.q.At(t, func(now clk.Tick) {
-		if b.gen != gen {
-			return
-		}
-		b.scheduled = false
-		c.tryIssue(b, now)
-	})
+	w := c.getWake()
+	w.b, w.gen = b, b.gen
+	c.q.Schedule(t, w)
 }
 
 // refresh issues the periodic all-bank REF: every bank is blocked for tRFC
@@ -201,11 +365,11 @@ func (c *Controller) refresh(now clk.Tick) {
 			}
 		}
 		c.dev.Banks[b.id].ExecuteREF(c.refIdx)
-		if len(b.queue) > 0 || (c.rfmActive() && b.raa >= c.cfg.RFMTH) {
+		if b.qn > 0 || (c.rfmActive() && b.raa >= c.cfg.RFMTH) {
 			c.wake(b, b.busyUntil)
 		}
 	}
-	c.q.At(now+tm.TREFI, c.refresh)
+	c.refreshT.At(now + tm.TREFI)
 }
 
 // tryIssue is the per-bank scheduler: serve a row hit if one is possible,
@@ -214,7 +378,7 @@ func (c *Controller) refresh(now clk.Tick) {
 func (c *Controller) tryIssue(b *bankState, now clk.Tick) {
 	tm := c.cfg.Timing
 
-	if len(b.queue) == 0 {
+	if b.qn == 0 {
 		// Idle bank: drain accumulated RAA opportunistically so the RFM
 		// cost is not paid by demand requests.
 		if c.rfmActive() && b.raa >= c.cfg.RFMTH {
@@ -227,7 +391,7 @@ func (c *Controller) tryIssue(b *bankState, now clk.Tick) {
 		}
 		return
 	}
-	req := b.queue[0]
+	req := b.front()
 
 	// Row-buffer hit: the row is still open (closed-page with a tRAS grace
 	// window, Section III) and we are not inside a blocking window.
@@ -238,7 +402,7 @@ func (c *Controller) tryIssue(b *bankState, now clk.Tick) {
 
 	// Everything else requires the bank to be activatable, and the
 	// subchannel to have tRRD/tFAW headroom.
-	sub := c.subch[c.cfg.Mapper.Geometry().Subchannel(b.id)]
+	sub := b.sub
 	t := clk.Max(now, clk.Max(b.nextAct, b.busyUntil))
 	t = clk.Max(t, sub.actAllowedAt(tm))
 
@@ -281,9 +445,9 @@ func (c *Controller) tryIssue(b *bankState, now clk.Tick) {
 	}
 	if res.WindowClosed {
 		// The mitigation starts at this ACT's precharge (Section IV-B).
-		bank := c.dev.Banks[b.id]
-		pt := b.openUntil
-		c.q.At(pt, func(clk.Tick) { bank.StartPendingMitigation(pt) })
+		m := c.getMit()
+		m.bank, m.pt = c.dev.Banks[b.id], b.openUntil
+		c.q.Schedule(b.openUntil, m)
 	}
 	if res.ABO {
 		// Grant the PRAC back-off once the row has closed: an RFM-length
@@ -297,29 +461,31 @@ func (c *Controller) tryIssue(b *bankState, now clk.Tick) {
 // occupancy, completes the request, and plans the next scheduling pass.
 func (c *Controller) serveCAS(b *bankState, req *Request, casTime clk.Tick, hit bool) {
 	tm := c.cfg.Timing
-	sub := c.subch[c.cfg.Mapper.Geometry().Subchannel(b.id)]
+	sub := b.sub
 	dataStart := clk.Max(casTime+tm.TCL, sub.busFree)
 	sub.busFree = dataStart + tm.TBURST
 	done := dataStart + tm.TBURST
 
-	b.queue = b.queue[1:]
+	b.pop()
 	c.pending--
 	if hit {
 		c.Stats.RowHits++
 	}
 	if req.Write {
 		c.Stats.Writes++
+		if req.pooled {
+			c.recycleWrite(req)
+		}
 	} else {
 		c.Stats.Reads++
 		c.Stats.ReadLatencySum += done - req.arrive
 		if req.Done != nil {
-			cb := req.Done
-			c.q.At(done, func(now clk.Tick) { cb(now) })
+			c.q.At(done, req.Done)
 		}
 	}
-	c.Stats.QueueOccupancySum += uint64(len(b.queue))
+	c.Stats.QueueOccupancySum += uint64(b.qn)
 
-	if len(b.queue) == 0 {
+	if b.qn == 0 {
 		if c.rfmActive() && b.raa >= c.cfg.RFMTH {
 			// Drain RAA while idle, once the row has closed.
 			c.wake(b, b.nextAct)
@@ -328,7 +494,7 @@ func (c *Controller) serveCAS(b *bankState, req *Request, casTime clk.Tick, hit 
 	}
 	// Plan the next pass: a same-row follower can CAS once the bus frees
 	// up (if still within the tRAS window); anything else waits for tRC.
-	next := b.queue[0]
+	next := b.front()
 	if b.openRow == int64(next.loc.Row) {
 		at := clk.Max(casTime+tm.TBURST, b.actTime+tm.TRCD)
 		if at < b.openUntil {
@@ -349,7 +515,7 @@ func (c *Controller) issueRFM(b *bankState, now clk.Tick) {
 		b.raa = 0
 	}
 	c.dev.Banks[b.id].ExecuteRFM()
-	if len(b.queue) > 0 || b.raa >= c.cfg.RFMTH {
+	if b.qn > 0 || b.raa >= c.cfg.RFMTH {
 		c.wake(b, b.busyUntil)
 	}
 }
@@ -362,18 +528,9 @@ func (c *Controller) rfmActive() bool {
 // schedulePRACBackoff stalls the bank for tRFM once the current row closes
 // and lets the device perform the ABO mitigation.
 func (c *Controller) schedulePRACBackoff(b *bankState) {
-	bank := c.dev.Banks[b.id]
-	at := b.nextAct
-	c.q.At(at, func(now clk.Tick) {
-		start := clk.Max(now, b.busyUntil)
-		b.busyUntil = start + c.cfg.Timing.TRFM
-		b.nextAct = clk.Max(b.nextAct, b.busyUntil)
-		c.Stats.PRACBackoffs++
-		bank.ExecutePRACBackoff()
-		if len(b.queue) > 0 {
-			c.wake(b, b.busyUntil)
-		}
-	})
+	p := c.getPrac()
+	p.b = b
+	c.q.Schedule(b.nextAct, p)
 }
 
 // AvgReadLatency returns the mean read latency in nanoseconds.

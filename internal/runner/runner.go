@@ -126,6 +126,7 @@ type Pool struct {
 	done      int
 	submitted int
 	hits      int
+	events    int64
 	started   time.Time
 }
 
@@ -157,6 +158,16 @@ func (p *Pool) CacheStats() (hits, misses int) {
 	p.pmu.Lock()
 	defer p.pmu.Unlock()
 	return p.hits, p.done - p.hits
+}
+
+// SimulatedEvents returns the total number of discrete events dispatched by
+// jobs this pool actually simulated (cache hits re-deliver a result without
+// re-dispatching its events). Together with wall-clock time it yields the
+// events/sec figure the BENCH_*.json trajectory records.
+func (p *Pool) SimulatedEvents() int64 {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return p.events
 }
 
 // Run executes one job, consulting the cache first. Concurrent callers
@@ -227,6 +238,9 @@ func (p *Pool) simulate(ctx context.Context, cfg sim.Config, key string) (res si
 	}()
 	res, err = sim.RunCtx(ctx, cfg)
 	if err == nil {
+		p.pmu.Lock()
+		p.events += res.Events
+		p.pmu.Unlock()
 		p.checkpoint(key, res)
 	}
 	return res, err

@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"autorfm/internal/cache"
 	"autorfm/internal/clk"
@@ -135,15 +136,72 @@ func (c Config) Normalized() Config {
 //
 // Configs with a NewStream override are not memoizable (the stream is an
 // arbitrary caller-supplied function); for those Key returns "".
+//
+// The key is assembled with strconv appends rather than fmt's reflection
+// (it used to be one fmt.Sprintf("%+v") per runner lookup and checkpoint
+// verification, which profiles as measurable overhead on all-cache-hit
+// sweeps); the output is byte-for-byte the string the fmt version
+// produced, so checkpoints written by older binaries still verify —
+// TestKeyMatchesFmtReference pins the equivalence and BenchmarkConfigKey
+// the speedup. The runner computes the key once per job and threads it
+// through lookup, checkpoint write, and failure reporting.
 func (c Config) Key() string {
 	if c.NewStream != nil {
 		return ""
 	}
 	n := c.Normalized()
-	return fmt.Sprintf("w=%+v|cores=%d|instr=%d|mode=%d|th=%d|map=%s|pol=%s|trk=%s|eth=%d|retry=%d|raa=%d|pf=%d|seed=%d|fault=%+v",
-		n.Workload, n.Cores, n.InstructionsPerCore, n.Mode, n.TH, n.Mapping,
-		n.Policy, n.Tracker, n.PRACETh, n.RetryWaitNS, n.RAAMaxFactor,
-		n.PrefetchDegree, n.Seed, n.Fault)
+	b := make([]byte, 0, 352)
+	w := &n.Workload
+	b = append(b, "w={Name:"...)
+	b = append(b, w.Name...)
+	b = append(b, " Suite:"...)
+	b = append(b, w.Suite...)
+	b = appendFloat(append(b, " MemPKI:"...), w.MemPKI)
+	b = appendFloat(append(b, " WriteFrac:"...), w.WriteFrac)
+	b = strconv.AppendInt(append(b, " FootprintMB:"...), int64(w.FootprintMB), 10)
+	b = appendFloat(append(b, " SeqFrac:"...), w.SeqFrac)
+	b = strconv.AppendInt(append(b, " Streams:"...), int64(w.Streams), 10)
+	b = strconv.AppendInt(append(b, " Burst:"...), int64(w.Burst), 10)
+	b = appendFloat(append(b, " DepFrac:"...), w.DepFrac)
+	b = appendFloat(append(b, " TargetACTPKI:"...), w.TargetACTPKI)
+	b = appendFloat(append(b, " TargetACTPerTREFI:"...), w.TargetACTPerTREFI)
+	b = strconv.AppendInt(append(b, "}|cores="...), int64(n.Cores), 10)
+	b = strconv.AppendInt(append(b, "|instr="...), n.InstructionsPerCore, 10)
+	b = strconv.AppendInt(append(b, "|mode="...), int64(n.Mode), 10)
+	b = strconv.AppendInt(append(b, "|th="...), int64(n.TH), 10)
+	b = append(append(b, "|map="...), n.Mapping...)
+	b = append(append(b, "|pol="...), n.Policy...)
+	b = append(append(b, "|trk="...), n.Tracker...)
+	b = strconv.AppendInt(append(b, "|eth="...), int64(n.PRACETh), 10)
+	b = strconv.AppendInt(append(b, "|retry="...), n.RetryWaitNS, 10)
+	b = strconv.AppendInt(append(b, "|raa="...), int64(n.RAAMaxFactor), 10)
+	b = strconv.AppendInt(append(b, "|pf="...), int64(n.PrefetchDegree), 10)
+	b = strconv.AppendUint(append(b, "|seed="...), n.Seed, 10)
+	f := &n.Fault
+	b = strconv.AppendUint(append(b, "|fault={Seed:"...), f.Seed, 10)
+	b = appendFloat(append(b, " ActMissProb:"...), f.ActMissProb)
+	b = appendFloat(append(b, " TrackerBitFlipProb:"...), f.TrackerBitFlipProb)
+	b = appendFloat(append(b, " DropMitigationProb:"...), f.DropMitigationProb)
+	b = appendFloat(append(b, " DelayMitigationProb:"...), f.DelayMitigationProb)
+	b = strconv.AppendInt(append(b, " PanicAfterActs:"...), int64(f.PanicAfterActs), 10)
+	b = appendFloat(append(b, " ChaosProb:"...), f.ChaosProb)
+	b = append(b, '}')
+	return string(b)
+}
+
+// appendFloat appends v exactly as fmt's %v renders a float64: shortest
+// round-trip 'g' formatting, including NaN/±Inf spellings.
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) {
+		return append(b, "NaN"...)
+	}
+	if math.IsInf(v, 1) {
+		return append(b, "+Inf"...)
+	}
+	if math.IsInf(v, -1) {
+		return append(b, "-Inf"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
 // validate rejects every user-reachable misconfiguration as an error, so
@@ -209,6 +267,10 @@ type Result struct {
 	FinishTimes  []clk.Tick
 	Elapsed      clk.Tick // latest core finish
 	Instructions int64    // total retired across cores
+	// Events is the number of discrete events the run dispatched — the
+	// denominator of the simulator's events/sec throughput metric. It is
+	// deterministic per config, like every other Result field.
+	Events int64
 
 	MC    memctrl.Stats
 	Dev   dram.BankStats
@@ -328,23 +390,13 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		llcCfg.PrefetchDegree = 0
 	}
 	llc := cache.New(llcCfg, mc, q)
+	prewarm(llc, llcCfg, cfg)
 
-	// Pre-warm the LLC to steady-state occupancy so short slices see the
-	// same capacity-eviction and writeback behaviour as long runs: fill the
-	// cache with lines spread across the cores' footprints, dirty with the
-	// workload's write fraction.
-	{
-		wr := rng.New(cfg.Seed ^ 0x3a3a)
-		llcCfg := cache.DefaultConfig()
-		totalLines := llcCfg.SizeBytes / llcCfg.LineBytes
-		fpLines := uint64(cfg.Workload.FootprintMB) * (1 << 20) / 64
-		for i := 0; i < totalLines; i++ {
-			core := i % cfg.Cores
-			line := uint64(core)*fpLines + uint64(wr.Int63n(int64(fpLines)))
-			llc.Warm(line, wr.Bernoulli(cfg.Workload.WriteFrac))
-		}
-	}
-
+	// remaining counts unfinished cores; each core decrements it exactly
+	// once, from its retire path, so run termination is an O(1) comparison
+	// per event instead of an O(cores) scan.
+	remaining := cfg.Cores
+	coreFinished := func() { remaining-- }
 	cores := make([]*cpu.Core, cfg.Cores)
 	for i := range cores {
 		var strm cpu.Stream
@@ -354,32 +406,28 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 			strm = workload.NewGenerator(cfg.Workload, i, cfg.Seed^0xc0de)
 		}
 		cores[i] = cpu.New(i, cpu.DefaultConfig(cfg.InstructionsPerCore), strm, llc, q)
+		cores[i].OnFinish = coreFinished
 		cores[i].Start()
 	}
 
-	allDone := func() bool {
-		for _, c := range cores {
-			if !c.Finished {
-				return false
-			}
-		}
-		return true
-	}
-	// Poll ctx only every 4096 events: ctx.Err takes a lock, and the event
-	// loop dispatches tens of millions of events per simulated millisecond.
-	events := 0
+	// The dispatch loop, with the old stop-callback indirection hoisted
+	// into the loop itself: the common iteration is a counter compare, an
+	// event dispatch, and one predictable not-taken branch for the
+	// cancelled poll. ctx is polled only every 4096 events: ctx.Err takes
+	// a lock, and the loop dispatches tens of millions of events per
+	// simulated millisecond.
+	var events int64
 	cancelled := false
-	q.Run(func() bool {
-		if allDone() {
-			return true
+	for remaining > 0 {
+		if !q.Step() {
+			break
 		}
 		events++
 		if events&0xfff == 0 && ctx.Err() != nil {
 			cancelled = true
-			return true
+			break
 		}
-		return false
-	})
+	}
 	if cancelled {
 		return Result{}, fmt.Errorf("sim: run cancelled at t=%v: %w", q.Now(), ctx.Err())
 	}
@@ -387,6 +435,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	res := Result{
 		Config:      cfg,
 		FinishTimes: make([]clk.Tick, len(cores)),
+		Events:      events,
 		MC:          mc.Stats,
 		Dev:         dev.TotalStats(),
 		Cache:       llc.Stats,
@@ -400,6 +449,25 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// prewarm fills the LLC to steady-state occupancy so short slices see the
+// same capacity-eviction and writeback behaviour as long runs: every line
+// slot of the configured cache is warmed with a line drawn from the cores'
+// footprints, dirty with the workload's write fraction. llcCfg must be the
+// configuration llc was built with — warming DefaultConfig's line count
+// into a differently sized cache would silently skew occupancy (a bug this
+// helper's regression test pins down). Returns the number of lines warmed.
+func prewarm(llc *cache.Cache, llcCfg cache.Config, cfg Config) int {
+	wr := rng.New(cfg.Seed ^ 0x3a3a)
+	totalLines := llcCfg.SizeBytes / llcCfg.LineBytes
+	fpLines := uint64(cfg.Workload.FootprintMB) * (1 << 20) / 64
+	for i := 0; i < totalLines; i++ {
+		core := i % cfg.Cores
+		line := uint64(core)*fpLines + uint64(wr.Int63n(int64(fpLines)))
+		llc.Warm(line, wr.Bernoulli(cfg.Workload.WriteFrac))
+	}
+	return totalLines
 }
 
 // MustRun is Run, panicking on configuration errors (for benches/examples
