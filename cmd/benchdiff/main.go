@@ -1,0 +1,105 @@
+// Command benchdiff compares two autorfm-bench/v1 reports (see
+// cmd/autorfm-bench -benchjson) and fails when any experiment regressed in
+// wall time beyond a tolerance. CI runs it with the committed baseline
+// BENCH_*.json against a freshly produced report, turning the performance
+// claims in docs/PERF.md into an enforced invariant rather than a snapshot.
+//
+//	benchdiff [-tolerance 0.25] [-min-wall 50ms] baseline.json fresh.json
+//
+// An experiment present only in the fresh report is new and passes; one
+// present only in the baseline is reported but does not fail the run (the
+// catalog shrank deliberately or the experiment was renamed — either way a
+// wall-time comparison is meaningless). Experiments whose wall time is
+// below -min-wall in both reports are rendered but never fail the run:
+// a microsecond-scale cell (a cached table render) swings far beyond any
+// relative tolerance on scheduler noise alone.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+type experiment struct {
+	ID     string `json:"id"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+type report struct {
+	Schema      string       `json:"schema"`
+	Experiments []experiment `json:"experiments"`
+}
+
+const wantSchema = "autorfm-bench/v1"
+
+func load(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != wantSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, wantSchema)
+	}
+	return &r, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.25, "maximum allowed fractional wall-time regression per experiment")
+	minWall := flag.Duration("min-wall", 50*time.Millisecond, "experiments faster than this in both reports are noise, never a failure")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.25] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	baseline := make(map[string]int64, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseline[e.ID] = e.WallNS
+	}
+
+	failed := false
+	fmt.Printf("%-8s %14s %14s %9s\n", "exp", "base(ms)", "fresh(ms)", "delta")
+	for _, e := range fresh.Experiments {
+		bNS, ok := baseline[e.ID]
+		if !ok {
+			fmt.Printf("%-8s %14s %14.3f %9s\n", e.ID, "-", float64(e.WallNS)/1e6, "new")
+			continue
+		}
+		delete(baseline, e.ID)
+		delta := float64(e.WallNS-bNS) / float64(bNS)
+		mark := ""
+		switch {
+		case delta <= *tolerance:
+		case bNS < minWall.Nanoseconds() && e.WallNS < minWall.Nanoseconds():
+			mark = "  (noise)"
+		default:
+			mark = "  REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-8s %14.3f %14.3f %+8.1f%%%s\n", e.ID, float64(bNS)/1e6, float64(e.WallNS)/1e6, 100*delta, mark)
+	}
+	for id := range baseline {
+		fmt.Printf("%-8s: only in baseline (skipped)\n", id)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: wall-time regression beyond %.0f%% tolerance\n", 100**tolerance)
+		os.Exit(1)
+	}
+}

@@ -145,8 +145,9 @@ type Bank struct {
 	saum      int
 	saumUntil clk.Tick
 
-	// PRAC per-row counters (sparse).
-	pracCounts map[uint32]uint32
+	// PRAC per-row counters: a flat per-bank slice indexed by row, the
+	// dense counter-per-row array the PRAC DDR5 extension actually adds.
+	pracCounts []uint32
 	aboRow     uint32
 	aboPending bool
 
@@ -183,7 +184,7 @@ func NewDevice(cfg Config) *Device {
 			saum:   -1,
 		}
 		if cfg.Mode == ModePRAC {
-			b.pracCounts = make(map[uint32]uint32)
+			b.pracCounts = make([]uint32, cfg.Geo.RowsPerBank)
 		}
 		if cfg.Audit {
 			b.Ledger = NewLedger(cfg.Geo.RowsPerBank, cfg.AuditThreshold)
@@ -321,7 +322,7 @@ func (b *Bank) mitigate(sel tracker.Selection) {
 	// Victim refreshes replenish PRAC rows too.
 	if b.pracCounts != nil {
 		for _, v := range victims {
-			delete(b.pracCounts, v)
+			b.pracCounts[v] = 0
 		}
 	}
 }

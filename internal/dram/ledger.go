@@ -16,8 +16,13 @@ package dram
 // Damage accounting is single-sided: a row hammered from both sides at a
 // double-sided threshold TRH-D accumulates 2×TRH-D damage, so callers set
 // the failure threshold to 2×TRH-D (TRH-S ≈ 2×TRH-D, Appendix A).
+//
+// Damage is a flat []uint32 indexed by row — the dense array a DRAM bank
+// actually is — so RecordAct touches two adjacent words and a REF clears
+// its group with a stride-RefGroups walk (rowsPerBank/RefGroups ≈ 16 slots)
+// instead of scanning every damaged row on each of the 8192 REFs per tREFW.
 type Ledger struct {
-	damage      map[uint32]uint32
+	damage      []uint32
 	rowsPerBank int
 	threshold   uint32 // 0 disables failure recording
 
@@ -39,7 +44,7 @@ type Ledger struct {
 // failure whenever a row's damage reaches threshold (0 = never).
 func NewLedger(rowsPerBank int, threshold uint32) *Ledger {
 	return &Ledger{
-		damage:      make(map[uint32]uint32),
+		damage:      make([]uint32, rowsPerBank),
 		rowsPerBank: rowsPerBank,
 		threshold:   threshold,
 		RefGroups:   8192,
@@ -68,7 +73,7 @@ func (l *Ledger) bump(row uint32) {
 // activation senses and rewrites the row, so it cannot itself be a
 // Rowhammer victim while it is being hammered).
 func (l *Ledger) RecordAct(row uint32) {
-	delete(l.damage, row)
+	l.damage[row] = 0
 	if row > 0 {
 		l.bump(row - 1)
 	}
@@ -81,26 +86,26 @@ func (l *Ledger) RecordAct(row uint32) {
 // damage resets (its charge is replenished), and — because the refresh
 // activates the row internally — its neighbours take one unit of damage.
 func (l *Ledger) RecordVictimRefresh(row uint32) {
-	delete(l.damage, row)
 	l.RecordAct(row)
 }
 
 // RecordPeriodicRefresh models one REF command: rows whose index is
 // congruent to refIndex modulo RefGroups are refreshed, resetting their
-// damage. The sparse map is scanned, which is cheap because only rows that
-// have taken damage are present.
+// damage. The walk strides through the flat array, touching only the
+// rowsPerBank/RefGroups rows the REF actually covers.
 func (l *Ledger) RecordPeriodicRefresh(refIndex uint64) {
 	group := uint32(refIndex % l.RefGroups)
-	for row := range l.damage {
-		if row%uint32(l.RefGroups) == group {
-			delete(l.damage, row)
-		}
+	for row := int(group); row < l.rowsPerBank; row += int(l.RefGroups) {
+		l.damage[row] = 0
 	}
 }
 
 // Reset clears all damage and counters.
 func (l *Ledger) Reset() {
-	l.damage = make(map[uint32]uint32)
+	for i := range l.damage {
+		l.damage[i] = 0
+	}
 	l.MaxDamage = 0
 	l.Failures = 0
+	l.LastFailRow = 0
 }

@@ -97,3 +97,18 @@ func TestLedgerReset(t *testing.T) {
 		t.Fatal("Reset left state behind")
 	}
 }
+
+func TestLedgerResetClearsLastFailRow(t *testing.T) {
+	l := NewLedger(64, 4)
+	for i := 0; i < 4; i++ {
+		l.RecordAct(10)
+	}
+	// The 4th activation fails both neighbours; 11 is bumped last.
+	if l.Failures != 2 || l.LastFailRow != 11 {
+		t.Fatalf("setup: Failures=%d LastFailRow=%d, want 2 failures ending at row 11", l.Failures, l.LastFailRow)
+	}
+	l.Reset()
+	if l.LastFailRow != 0 {
+		t.Fatalf("Reset left LastFailRow = %d; a fresh epoch must not report the previous epoch's failing row", l.LastFailRow)
+	}
+}

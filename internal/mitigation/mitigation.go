@@ -109,14 +109,16 @@ type Fractal struct {
 	r *rng.Source
 
 	// DistanceCounts records how often each distance was refreshed; exported
-	// for the security-validation tests of the 2^(1-d) law.
-	DistanceCounts map[int]uint64
+	// for the security-validation tests of the 2^(1-d) law. Distances are
+	// 2..18 (rng.FractalDistance), so a fixed array indexed by distance
+	// replaces the former map without any overflow case.
+	DistanceCounts [19]uint64
 }
 
 // NewFractal returns a Fractal Mitigation policy drawing randomness from r
 // (modelling the per-bank PRNG of Section VI-C).
 func NewFractal(r *rng.Source) *Fractal {
-	return &Fractal{r: r, DistanceCounts: make(map[int]uint64)}
+	return &Fractal{r: r}
 }
 
 func (*Fractal) Name() string      { return "fractal" }

@@ -62,25 +62,43 @@ func Percentile(xs []float64, p float64) float64 {
 	return s[lo]*(1-frac) + s[hi]*frac
 }
 
-// Histogram is a simple integer-bucket histogram.
+// Histogram is a simple integer-bucket histogram. Values in [0, denseSize)
+// — essentially all observations in practice — land in a flat slice;
+// anything else (negative or huge) falls into a small overflow map kept off
+// the hot path.
 type Histogram struct {
-	buckets map[int]uint64
-	total   uint64
+	dense []uint64
+	tail  map[int]uint64 // lazily allocated; out-of-range observations only
+	total uint64
 }
+
+const histDenseSize = 1024
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{buckets: make(map[int]uint64)}
+	return &Histogram{dense: make([]uint64, histDenseSize)}
 }
 
 // Add records one observation of value v.
 func (h *Histogram) Add(v int) {
-	h.buckets[v]++
+	if v >= 0 && v < len(h.dense) {
+		h.dense[v]++
+	} else {
+		if h.tail == nil {
+			h.tail = make(map[int]uint64)
+		}
+		h.tail[v]++
+	}
 	h.total++
 }
 
 // Count returns the number of observations of v.
-func (h *Histogram) Count(v int) uint64 { return h.buckets[v] }
+func (h *Histogram) Count(v int) uint64 {
+	if v >= 0 && v < len(h.dense) {
+		return h.dense[v]
+	}
+	return h.tail[v]
+}
 
 // Total returns the total number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
@@ -90,16 +108,24 @@ func (h *Histogram) Fraction(v int) float64 {
 	if h.total == 0 {
 		return 0
 	}
-	return float64(h.buckets[v]) / float64(h.total)
+	return float64(h.Count(v)) / float64(h.total)
 }
 
 // Max returns the largest observed value (0 if empty).
 func (h *Histogram) Max() int {
 	max := 0
 	first := true
-	for v := range h.buckets {
-		if first || v > max {
+	for v, c := range h.tail {
+		if c > 0 && (first || v > max) {
 			max, first = v, false
+		}
+	}
+	for v := len(h.dense) - 1; v >= 0; v-- {
+		if h.dense[v] > 0 {
+			if first || v > max {
+				max, first = v, false
+			}
+			break
 		}
 	}
 	return max

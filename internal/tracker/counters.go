@@ -14,13 +14,17 @@ type REFAware interface {
 // Mithril, but it nominates a row as soon as its estimated count crosses a
 // mitigation threshold rather than waiting to be asked for the hottest row.
 // Crossed rows queue until the device receives mitigation time.
+//
+// Storage is the flat mgTable plus a ring FIFO and an open-addressed
+// membership set for the pending queue. A mitigated row that was evicted
+// from the table while queued is re-inserted at the floor, so the physical
+// arrays carry a little headroom beyond the logical entry budget — the
+// budget check in OnActivation keeps the live population honest.
 type Graphene struct {
-	entries   int
 	threshold int64
-	counts    map[uint32]int64
-	spill     int64
-	pendingQ  []uint32
-	inQueue   map[uint32]bool
+	t         mgTable
+	q         rowRing
+	inQ       rowMap
 }
 
 // NewGraphene returns a Graphene tracker with the given entry budget that
@@ -29,76 +33,85 @@ func NewGraphene(entries int, threshold int64) *Graphene {
 	if entries < 1 || threshold < 1 {
 		panic("tracker: invalid Graphene parameters")
 	}
-	return &Graphene{
-		entries:   entries,
-		threshold: threshold,
-		counts:    make(map[uint32]int64, entries),
-		inQueue:   make(map[uint32]bool),
-	}
+	g := &Graphene{threshold: threshold}
+	g.t.init(entries)
+	g.inQ.init(16)
+	return g
 }
 
 func (g *Graphene) Name() string {
-	return fmt.Sprintf("graphene-%d@%d", g.entries, g.threshold)
+	return fmt.Sprintf("graphene-%d@%d", g.t.budget, g.threshold)
 }
 
 func (g *Graphene) OnActivation(row uint32) {
-	if _, ok := g.counts[row]; ok {
-		g.counts[row]++
-	} else if len(g.counts) < g.entries {
-		g.counts[row] = g.spill + 1
-	} else {
-		g.spill++
-		for r, c := range g.counts {
-			if c <= g.spill {
-				delete(g.counts, r)
-			}
-		}
-		if len(g.counts) < g.entries {
-			g.counts[row] = g.spill + 1
+	slot := g.t.lookup(row)
+	switch {
+	case slot >= 0:
+		g.t.increment(slot)
+	case g.t.n < g.t.budget:
+		slot = g.t.insert(row, g.t.spill+1)
+	default:
+		g.t.spillInc()
+		if g.t.n < g.t.budget {
+			slot = g.t.insert(row, g.t.spill+1)
 		}
 	}
-	if c, ok := g.counts[row]; ok && c >= g.threshold && !g.inQueue[row] {
-		g.pendingQ = append(g.pendingQ, row)
-		g.inQueue[row] = true
+	if slot >= 0 && g.t.counts[slot] >= g.threshold && g.inQ.get(row) < 0 {
+		g.q.push(row)
+		g.inQ.put(row, 0)
 	}
 }
 
 func (g *Graphene) SelectForMitigation() Selection {
-	if len(g.pendingQ) == 0 {
+	if g.q.len() == 0 {
 		return Selection{}
 	}
-	row := g.pendingQ[0]
-	g.pendingQ = g.pendingQ[1:]
-	delete(g.inQueue, row)
-	g.counts[row] = g.spill // estimated count resets to the floor
+	row := g.q.pop()
+	g.inQ.del(row)
+	// The estimated count resets to the floor. If the row was evicted while
+	// it waited in the queue, it re-enters the table at the floor (dying at
+	// the next spill unless re-activated), exactly as the map model's
+	// unconditional assignment did.
+	if slot := g.t.lookup(row); slot >= 0 {
+		g.t.resetToFloor(slot)
+	} else {
+		g.t.insert(row, g.t.spill)
+	}
 	return Selection{Row: row, Level: 1, OK: true}
 }
 
 func (g *Graphene) Reset() {
-	g.counts = make(map[uint32]int64, g.entries)
-	g.spill = 0
-	g.pendingQ = nil
-	g.inQueue = make(map[uint32]bool)
+	g.t.init(g.t.budget)
+	g.q.reset()
+	g.inQ.clear()
 }
 
 // Pending returns the number of rows waiting for mitigation time; exported
 // so tests can check that the queue drains.
-func (g *Graphene) Pending() int { return len(g.pendingQ) }
+func (g *Graphene) Pending() int { return g.q.len() }
+
+// TableLen returns the number of live table entries, for tests.
+func (g *Graphene) TableLen() int { return g.t.n }
 
 // TWiCe (Lee et al., ISCA'19; Section VII-D) tracks candidate aggressors in
 // time-window counters: an entry's activation count is compared against a
 // pruning threshold that grows with the entry's age in refresh intervals,
 // so rows that cannot possibly reach the Rowhammer threshold before their
 // victims are refreshed are dropped early, keeping the table small.
+//
+// Entries live in flat slot arrays (count 0 marks a free slot; live counts
+// start at 1) with an open-addressed row index, so OnREF ages the table by
+// walking an array instead of rehashing a map of pointers.
 type TWiCe struct {
 	threshold  int64 // Rowhammer threshold the design targets
 	lifeEpochs int64 // refresh intervals in a retention window (tREFW/tREFI)
-	entries    map[uint32]*twiceEntry
-}
 
-type twiceEntry struct {
-	count int64
-	life  int64 // age in REF intervals
+	rows   []uint32
+	counts []int64
+	life   []int64
+	free   []int32
+	n      int
+	idx    rowMap
 }
 
 // NewTWiCe returns a TWiCe tracker targeting the given Rowhammer threshold.
@@ -106,21 +119,43 @@ func NewTWiCe(threshold int64) *TWiCe {
 	if threshold < 2 {
 		panic("tracker: invalid TWiCe threshold")
 	}
-	return &TWiCe{
+	t := &TWiCe{
 		threshold:  threshold,
 		lifeEpochs: 8192, // REF commands per tREFW in DDR5
-		entries:    make(map[uint32]*twiceEntry),
 	}
+	t.idx.init(16)
+	return t
 }
 
 func (t *TWiCe) Name() string { return fmt.Sprintf("twice-%d", t.threshold) }
 
 func (t *TWiCe) OnActivation(row uint32) {
-	if e, ok := t.entries[row]; ok {
-		e.count++
+	if slot := t.idx.get(row); slot >= 0 {
+		t.counts[slot]++
 		return
 	}
-	t.entries[row] = &twiceEntry{count: 1}
+	var slot int32
+	if k := len(t.free); k > 0 {
+		slot = t.free[k-1]
+		t.free = t.free[:k-1]
+	} else {
+		slot = int32(len(t.rows))
+		t.rows = append(t.rows, 0)
+		t.counts = append(t.counts, 0)
+		t.life = append(t.life, 0)
+	}
+	t.rows[slot] = row
+	t.counts[slot] = 1
+	t.life[slot] = 0
+	t.idx.put(row, slot)
+	t.n++
+}
+
+func (t *TWiCe) drop(slot int32) {
+	t.idx.del(t.rows[slot])
+	t.counts[slot] = 0
+	t.free = append(t.free, slot)
+	t.n--
 }
 
 // OnREF ages every entry and prunes those whose activation rate cannot
@@ -128,11 +163,14 @@ func (t *TWiCe) OnActivation(row uint32) {
 // refresh intervals, a row needs at least threshold×k/L activations to
 // stay a candidate.
 func (t *TWiCe) OnREF() {
-	for row, e := range t.entries {
-		e.life++
-		need := t.threshold * e.life / t.lifeEpochs
-		if e.count < need {
-			delete(t.entries, row)
+	for s := range t.counts {
+		if t.counts[s] == 0 {
+			continue
+		}
+		t.life[s]++
+		need := t.threshold * t.life[s] / t.lifeEpochs
+		if t.counts[s] < need {
+			t.drop(int32(s))
 		}
 	}
 }
@@ -143,11 +181,16 @@ func (t *TWiCe) OnREF() {
 func (t *TWiCe) SelectForMitigation() Selection {
 	var best uint32
 	bestCount := int64(-1)
-	// Ties break toward the lowest row index (a hardware counter scan),
-	// keeping selection independent of map iteration order.
-	for row, e := range t.entries {
-		if e.count > bestCount || (e.count == bestCount && row < best) {
-			best, bestCount = row, e.count
+	bestSlot := int32(-1)
+	// Ties break toward the lowest row index (a hardware counter scan).
+	for s := range t.counts {
+		c := t.counts[s]
+		if c == 0 {
+			continue
+		}
+		r := t.rows[s]
+		if c > bestCount || (c == bestCount && r < best) {
+			best, bestCount, bestSlot = r, c, int32(s)
 		}
 	}
 	// Only mitigate rows that have crossed half the threshold — TWiCe
@@ -155,15 +198,25 @@ func (t *TWiCe) SelectForMitigation() Selection {
 	if bestCount < t.threshold/2 {
 		return Selection{}
 	}
-	delete(t.entries, best)
+	t.drop(bestSlot)
 	return Selection{Row: best, Level: 1, OK: true}
 }
 
-func (t *TWiCe) Reset() { t.entries = make(map[uint32]*twiceEntry) }
+func (t *TWiCe) Reset() {
+	t.rows = t.rows[:0]
+	t.counts = t.counts[:0]
+	t.life = t.life[:0]
+	t.free = t.free[:0]
+	t.n = 0
+	t.idx.clear()
+}
 
 // TableSize returns the current number of tracked candidates; exported so
 // tests can verify the pruning keeps the table small.
-func (t *TWiCe) TableSize() int { return len(t.entries) }
+func (t *TWiCe) TableSize() int { return t.n }
+
+// Contains reports whether row is currently tracked, for tests.
+func (t *TWiCe) Contains(row uint32) bool { return t.idx.get(row) >= 0 }
 
 var (
 	_ Tracker  = (*Graphene)(nil)

@@ -59,8 +59,8 @@ func TestGrapheneSpilloverEviction(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		g.OnActivation(uint32(i))
 	}
-	if len(g.counts) > 4 {
-		t.Fatalf("table grew to %d entries", len(g.counts))
+	if g.TableLen() > 4 {
+		t.Fatalf("table grew to %d entries", g.TableLen())
 	}
 }
 
@@ -125,7 +125,7 @@ func TestTWiCePruning(t *testing.T) {
 	if tw.TableSize() > 10 {
 		t.Fatalf("TableSize = %d after 100 REFs, pruning ineffective", tw.TableSize())
 	}
-	if _, ok := tw.entries[999_999]; !ok {
+	if !tw.Contains(999_999) {
 		t.Fatal("hot row was pruned")
 	}
 }

@@ -1,0 +1,142 @@
+package tracker
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The flat trackers must be observably indistinguishable from the map-based
+// references on arbitrary interleavings of activations, mitigations and
+// REFs. 200 seeds × randomized table budgets and row-space sizes cover the
+// regimes that matter: mostly-hit (rows ≪ budget), eviction churn (rows ≫
+// budget), spillover resurrection, Graphene's queued-but-evicted rows, and
+// TWiCe pruning races.
+
+func diffStream(t *testing.T, seed int64, run func(r *rand.Rand, rows uint32, ops int)) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rowSpaces := []uint32{2, 3, 7, 50, 1000}
+	rows := rowSpaces[r.Intn(len(rowSpaces))]
+	run(r, rows, 2000)
+}
+
+func TestMithrilMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		diffStream(t, seed, func(r *rand.Rand, rows uint32, ops int) {
+			entries := 1 + r.Intn(8)
+			flat := NewMithril(entries)
+			ref := newRefMithril(entries)
+			for op := 0; op < ops; op++ {
+				if r.Intn(10) == 0 {
+					got, want := flat.SelectForMitigation(), ref.SelectForMitigation()
+					if got != want {
+						t.Fatalf("seed %d op %d: select = %+v, reference %+v", seed, op, got, want)
+					}
+				} else {
+					row := uint32(r.Intn(int(rows)))
+					flat.OnActivation(row)
+					ref.OnActivation(row)
+				}
+				if flat.TableLen() != len(ref.counts) {
+					t.Fatalf("seed %d op %d: table len = %d, reference %d", seed, op, flat.TableLen(), len(ref.counts))
+				}
+			}
+		})
+	}
+}
+
+func TestGrapheneMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		diffStream(t, seed, func(r *rand.Rand, rows uint32, ops int) {
+			entries := 1 + r.Intn(8)
+			threshold := int64(1 + r.Intn(20))
+			flat := NewGraphene(entries, threshold)
+			ref := newRefGraphene(entries, threshold)
+			for op := 0; op < ops; op++ {
+				if r.Intn(10) == 0 {
+					got, want := flat.SelectForMitigation(), ref.SelectForMitigation()
+					if got != want {
+						t.Fatalf("seed %d op %d: select = %+v, reference %+v", seed, op, got, want)
+					}
+				} else {
+					row := uint32(r.Intn(int(rows)))
+					flat.OnActivation(row)
+					ref.OnActivation(row)
+				}
+				if flat.Pending() != len(ref.pendingQ) {
+					t.Fatalf("seed %d op %d: pending = %d, reference %d", seed, op, flat.Pending(), len(ref.pendingQ))
+				}
+				if flat.TableLen() != len(ref.counts) {
+					t.Fatalf("seed %d op %d: table len = %d, reference %d", seed, op, flat.TableLen(), len(ref.counts))
+				}
+			}
+		})
+	}
+}
+
+func TestTWiCeMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		diffStream(t, seed, func(r *rand.Rand, rows uint32, ops int) {
+			// Thresholds below, around and far above 2×lifeEpochs give
+			// pruning that is aggressive, marginal and inert.
+			thresholds := []int64{2, 100, 8192, 40000}
+			threshold := thresholds[r.Intn(len(thresholds))]
+			flat := NewTWiCe(threshold)
+			ref := newRefTWiCe(threshold)
+			for op := 0; op < ops; op++ {
+				switch r.Intn(12) {
+				case 0:
+					got, want := flat.SelectForMitigation(), ref.SelectForMitigation()
+					if got != want {
+						t.Fatalf("seed %d op %d: select = %+v, reference %+v", seed, op, got, want)
+					}
+				case 1, 2:
+					flat.OnREF()
+					ref.OnREF()
+				default:
+					row := uint32(r.Intn(int(rows)))
+					flat.OnActivation(row)
+					ref.OnActivation(row)
+				}
+				if flat.TableSize() != len(ref.entries) {
+					t.Fatalf("seed %d op %d: table size = %d, reference %d", seed, op, flat.TableSize(), len(ref.entries))
+				}
+			}
+		})
+	}
+}
+
+// TestMithrilOverflowMigration forces counts far above the ring span so the
+// overflow list and its lazy-minimum migration are exercised: one row is
+// hammered thousands of activations above the floor, then unique-row floods
+// raise the floor past the migration trigger.
+func TestMithrilOverflowMigration(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		entries := 2 + r.Intn(4)
+		flat := NewMithril(entries)
+		ref := newRefMithril(entries)
+		hot := uint32(1 << 20)
+		for i := 0; i < 2*mgRingSpan+r.Intn(1000); i++ {
+			flat.OnActivation(hot)
+			ref.OnActivation(hot)
+		}
+		// Flood with unique rows: every miss on a full table raises the
+		// floor, eventually marching it through the hot row's count.
+		next := uint32(0)
+		for i := 0; i < 6*mgRingSpan; i++ {
+			flat.OnActivation(next)
+			ref.OnActivation(next)
+			next++
+			if r.Intn(50) == 0 {
+				got, want := flat.SelectForMitigation(), ref.SelectForMitigation()
+				if got != want {
+					t.Fatalf("seed %d: select = %+v, reference %+v", seed, got, want)
+				}
+			}
+			if flat.TableLen() != len(ref.counts) {
+				t.Fatalf("seed %d: table len = %d, reference %d", seed, flat.TableLen(), len(ref.counts))
+			}
+		}
+	}
+}

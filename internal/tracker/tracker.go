@@ -134,15 +134,14 @@ type PrIDE struct {
 	window   int
 	fifoSize int
 	r        *rng.Source
-	fifo     []prideEntry
+	// The FIFO is a fixed ring: PrIDE's whole point is that the SRAM queue
+	// is tiny, and overflowing samples are dropped rather than grown into.
+	fifo []uint32
+	head int
+	n    int
 
 	// Loss statistics, used by tests and the analytic model validation.
 	Inserted, Dropped uint64
-}
-
-type prideEntry struct {
-	row   uint32
-	level int
 }
 
 // NewPrIDE returns a PrIDE tracker sampling with probability 1/window into a
@@ -151,7 +150,7 @@ func NewPrIDE(window, fifoSize int, r *rng.Source) *PrIDE {
 	if window < 1 || fifoSize < 1 {
 		panic("tracker: invalid PrIDE parameters")
 	}
-	return &PrIDE{window: window, fifoSize: fifoSize, r: r}
+	return &PrIDE{window: window, fifoSize: fifoSize, r: r, fifo: make([]uint32, fifoSize)}
 }
 
 func (p *PrIDE) Name() string { return fmt.Sprintf("pride-%d", p.window) }
@@ -161,26 +160,28 @@ func (p *PrIDE) OnActivation(row uint32) {
 		return
 	}
 	p.Inserted++
-	if len(p.fifo) >= p.fifoSize {
+	if p.n >= p.fifoSize {
 		// FIFO full: the new sample is dropped (PrIDE drops the incoming
 		// sample, keeping older, tardier entries).
 		p.Dropped++
 		return
 	}
-	p.fifo = append(p.fifo, prideEntry{row: row, level: 1})
+	p.fifo[(p.head+p.n)%p.fifoSize] = row
+	p.n++
 }
 
 func (p *PrIDE) SelectForMitigation() Selection {
-	if len(p.fifo) == 0 {
+	if p.n == 0 {
 		return Selection{}
 	}
-	e := p.fifo[0]
-	p.fifo = p.fifo[1:]
-	return Selection{Row: e.row, Level: e.level, OK: true}
+	row := p.fifo[p.head]
+	p.head = (p.head + 1) % p.fifoSize
+	p.n--
+	return Selection{Row: row, Level: 1, OK: true}
 }
 
 func (p *PrIDE) Reset() {
-	p.fifo = p.fifo[:0]
+	p.head, p.n = 0, 0
 	p.Inserted, p.Dropped = 0, 0
 }
 
@@ -279,10 +280,13 @@ func (p *PARA) Reset() { p.have = false }
 // highest count is mitigated and its counter is reset to the current
 // spillover floor. Appendix D notes Mithril needs >30K entries per bank to
 // reach sub-125 thresholds.
+//
+// Storage is the flat mgTable (mgcore.go): parallel slot arrays plus an
+// open-addressed index, matching the CAM+counter SRAM array the design
+// describes, with the decrement-all step costing O(evicted) instead of a
+// full-table sweep.
 type Mithril struct {
-	entries int
-	counts  map[uint32]int64
-	spill   int64 // Misra-Gries spillover floor
+	t mgTable
 }
 
 // NewMithril returns a Mithril tracker with the given entry budget.
@@ -290,50 +294,40 @@ func NewMithril(entries int) *Mithril {
 	if entries < 1 {
 		panic("tracker: invalid Mithril entry count")
 	}
-	return &Mithril{entries: entries, counts: make(map[uint32]int64, entries)}
+	m := &Mithril{}
+	m.t.init(entries)
+	return m
 }
 
-func (m *Mithril) Name() string { return fmt.Sprintf("mithril-%d", m.entries) }
+func (m *Mithril) Name() string { return fmt.Sprintf("mithril-%d", m.t.budget) }
 
 func (m *Mithril) OnActivation(row uint32) {
-	if _, ok := m.counts[row]; ok {
-		m.counts[row]++
+	if slot := m.t.lookup(row); slot >= 0 {
+		m.t.increment(slot)
 		return
 	}
-	if len(m.counts) < m.entries {
-		m.counts[row] = m.spill + 1
+	if m.t.n < m.t.budget {
+		m.t.insert(row, m.t.spill+1)
 		return
 	}
 	// Table full: Misra-Gries decrement-all, implemented with a floor value.
-	m.spill++
-	for r, c := range m.counts {
-		if c <= m.spill {
-			delete(m.counts, r)
-		}
-	}
-	if len(m.counts) < m.entries {
-		m.counts[row] = m.spill + 1
+	m.t.spillInc()
+	if m.t.n < m.t.budget {
+		m.t.insert(row, m.t.spill+1)
 	}
 }
 
 func (m *Mithril) SelectForMitigation() Selection {
-	var best uint32
-	bestCount := int64(-1)
-	// Ties break toward the lowest row index (a hardware counter scan),
-	// keeping selection independent of map iteration order.
-	for r, c := range m.counts {
-		if c > bestCount || (c == bestCount && r < best) {
-			best, bestCount = r, c
-		}
-	}
-	if bestCount < 0 {
+	// Ties break toward the lowest row index (a hardware counter scan).
+	row, count, slot := m.t.maxEntry()
+	if count < 0 {
 		return Selection{}
 	}
-	m.counts[best] = m.spill // mitigated: drop to the floor
-	return Selection{Row: best, Level: 1, OK: true}
+	m.t.resetToFloor(slot) // mitigated: drop to the floor
+	return Selection{Row: row, Level: 1, OK: true}
 }
 
-func (m *Mithril) Reset() {
-	m.counts = make(map[uint32]int64, m.entries)
-	m.spill = 0
-}
+func (m *Mithril) Reset() { m.t.init(m.t.budget) }
+
+// TableLen returns the number of live entries, for tests.
+func (m *Mithril) TableLen() int { return m.t.n }
