@@ -209,8 +209,16 @@ func (b *Bank) SAUMActive(now clk.Tick) bool {
 // time.
 func (b *Bank) SAUM() (int, clk.Tick) { return b.saum, b.saumUntil }
 
-// Activate attempts a demand activation of row at time now.
+// Activate attempts a demand activation of row at time now. row must be
+// below the configured RowsPerBank: the ledger and the PRAC counters are
+// flat per-row arrays (as the hardware's are), so an out-of-range row is a
+// harness addressing bug, reported here rather than as a raw index panic
+// deep in the bookkeeping.
 func (b *Bank) Activate(now clk.Tick, row uint32) ActResult {
+	if int(row) >= b.cfg.Geo.RowsPerBank {
+		panic(fmt.Sprintf("dram: ACT row %d out of range (bank has %d rows)",
+			row, b.cfg.Geo.RowsPerBank))
+	}
 	var res ActResult
 	if b.cfg.Mode == ModeAutoRFM && b.SAUMActive(now) &&
 		b.cfg.Geo.Subarray(row) == b.saum {

@@ -29,6 +29,17 @@ func TestModeString(t *testing.T) {
 	}
 }
 
+func TestActivateOutOfRangePanics(t *testing.T) {
+	d := NewDevice(autoCfg(4))
+	b := d.Banks[0]
+	defer func() {
+		if recover() == nil {
+			t.Error("Activate of a row >= RowsPerBank did not panic")
+		}
+	}()
+	b.Activate(0, uint32(d.Cfg.Geo.RowsPerBank))
+}
+
 func TestAutoRFMWindowCloses(t *testing.T) {
 	d := NewDevice(autoCfg(4))
 	b := d.Banks[0]

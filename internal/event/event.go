@@ -208,9 +208,12 @@ func (q *Queue) popBucket(b int) (clk.Tick, Handler) {
 	return t, h
 }
 
-// nextBucket returns the bucket of the earliest pending wheel event, or -1
-// if the wheel is empty. Because every wheel event lies in (now, now+W),
-// circular bucket order starting just after now is exactly time order.
+// nextBucket returns the bucket of the earliest wheel event strictly after
+// now, or -1 if there is none. Events at t > now all lie in (now, now+W),
+// so circular bucket order starting just after now is exactly time order.
+// The bucket at now's own residue can additionally hold remaining events at
+// t == now (a slow-path dispatch pops only the bucket head); this scan would
+// see those as circularly last, so nextTime checks that bucket first.
 func (q *Queue) nextBucket() int {
 	start := (int(q.now) + 1) & wheelMask
 	w0, off := start>>6, uint(start&63)
@@ -320,6 +323,13 @@ func (q *Queue) siftDown() {
 // precede far events: migration keeps every far event at least a horizon
 // away.
 func (q *Queue) nextTime() (clk.Tick, bool) {
+	// Same-tick events can remain in the current-residue bucket after a
+	// slow-path dispatch popped only its head; they precede everything
+	// nextBucket can see (its circular scan starts after now and would
+	// order them a full revolution late).
+	if b := int(q.now) & wheelMask; q.head[b] != 0 && q.items[q.head[b]].t == q.now {
+		return q.now, true
+	}
 	if b := q.nextBucket(); b >= 0 {
 		return q.items[q.head[b]].t, true
 	}

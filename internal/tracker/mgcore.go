@@ -284,7 +284,15 @@ func (m *rowMap) clear() {
 	m.n = 0
 }
 
-func rowHash(row uint32) uint32 { return row * 2654435761 }
+// rowHash mixes row for index masking. The multiply alone is not enough:
+// the low k bits of row*2654435761 depend only on the low k bits of row,
+// so masking it directly would give rows differing only in high bits
+// identical probe sequences. The xor-shift folds the well-mixed high half
+// into the bits the mask keeps.
+func rowHash(row uint32) uint32 {
+	x := row * 2654435761
+	return x ^ x>>16
+}
 
 // get returns the value stored for row, or -1.
 func (m *rowMap) get(row uint32) int32 {
