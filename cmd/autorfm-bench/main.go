@@ -43,6 +43,8 @@ import (
 	"autorfm"
 	"autorfm/internal/fault"
 	"autorfm/internal/runner"
+	"autorfm/internal/sim"
+	"autorfm/internal/telemetry"
 )
 
 // benchExperiment is one experiment's cost in a -benchjson report. Counter
@@ -61,10 +63,13 @@ type benchExperiment struct {
 	Allocs       uint64  `json:"allocs"`
 }
 
-// benchReport is the -benchjson document: schema "autorfm-bench/v1". The
-// optional Reference block is not emitted by the tool; it is filled in when
-// a report is committed as a BENCH_*.json trajectory point, with the same
-// measurements taken on the predecessor commit (see docs/PERF.md).
+// benchReport is the -benchjson document: schema "autorfm-bench/v2", a
+// strict superset of v1 (cmd/benchdiff accepts both). v2 adds the
+// process-wide peak heap footprint (runtime.MemStats.HeapSys at exit) and
+// the whole-invocation simulated-events throughput. The optional Reference
+// block is not emitted by the tool; it is filled in when a report is
+// committed as a BENCH_*.json trajectory point, with the same measurements
+// taken on the predecessor commit (see docs/PERF.md).
 type benchReport struct {
 	Schema      string            `json:"schema"`
 	Go          string            `json:"go"`
@@ -72,7 +77,13 @@ type benchReport struct {
 	Jobs        int               `json:"jobs"`
 	Experiments []benchExperiment `json:"experiments"`
 	Total       benchExperiment   `json:"total"`
-	Reference   json.RawMessage   `json:"reference,omitempty"`
+	// PeakHeapBytes is the heap footprint the run reached: HeapSys (bytes
+	// obtained from the OS for the heap), read at report time. v2 only.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// TotalEventsPerSec is Total.EventsPerSec surfaced as a top-level field
+	// so trajectory tooling can trend it without digging into Total. v2 only.
+	TotalEventsPerSec float64         `json:"total_events_per_sec"`
+	Reference         json.RawMessage `json:"reference,omitempty"`
 }
 
 // benchCounters snapshots the deltas benchExperiment is built from.
@@ -133,7 +144,11 @@ func run() int {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
-		benchJSON  = flag.String("benchjson", "", "write per-experiment timing/allocation counters to this file as JSON (schema autorfm-bench/v1)")
+		benchJSON  = flag.String("benchjson", "", "write per-experiment timing/allocation counters to this file as JSON (schema autorfm-bench/v2)")
+
+		metrics  = flag.String("metrics", "", "stream per-epoch telemetry of every simulated job to this JSON-lines file (schema "+telemetry.MetricsSchema+"; records carry the job's config key as run)")
+		epochNS  = flag.Int64("epoch-ns", 0, "telemetry epoch length in simulated ns (0 = one tREFI window, 3900ns)")
+		httpAddr = flag.String("http", "", "serve live sweep introspection on this address (expvar autorfm.sweep + net/http/pprof), e.g. :6060")
 	)
 	flag.Parse()
 
@@ -221,14 +236,58 @@ func run() int {
 	// cache, so e.g. fig1d's Fig3 sweep makes a later fig3 free.
 	pool := runner.New(*jobs)
 	pool.JobTimeout = *timeout
-	if !*quiet {
+
+	// Live introspection: -http serves expvar (the autorfm.sweep snapshot
+	// below) and net/http/pprof for the lifetime of the sweep.
+	var sweep *telemetry.SweepStatus
+	if *httpAddr != "" {
+		sweep = telemetry.NewSweepStatus()
+		telemetry.PublishSweep(sweep)
+		addr, err := telemetry.ServeIntrospection(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/debug/vars http://%s/debug/pprof/\n", addr, addr)
+	}
+	if !*quiet || sweep != nil {
 		pool.OnProgress = func(p runner.Progress) {
+			if sweep != nil {
+				sweep.Update(p.Done, p.Total, p.CacheHits, p.Failed, p.Events, p.Elapsed, p.ETA)
+			}
+			if *quiet {
+				return
+			}
 			eta := ""
 			if p.ETA > 0 {
 				eta = fmt.Sprintf("  eta %v", p.ETA.Round(time.Second))
 			}
 			fmt.Fprintf(os.Stderr, "\r\033[K[%d/%d jobs  %d cached  %v%s]",
 				p.Done, p.Total, p.CacheHits, p.Elapsed.Round(100*time.Millisecond), eta)
+		}
+	}
+
+	// Per-job epoch telemetry: every job the pool actually simulates gets a
+	// fresh probe emitting into one shared concurrency-safe sink, labelled
+	// by the job's config key. Cache hits re-deliver results without
+	// re-emitting records.
+	var msink *telemetry.Sink
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		msink = telemetry.NewSink(f)
+		epoch := *epochNS
+		pool.Instrument = func(cfg *sim.Config, key string) {
+			if key == "" {
+				key = cfg.Workload.Name // uncacheable stream job: best-effort label
+			}
+			cfg.Telemetry = &telemetry.Probe{Metrics: &telemetry.MetricsConfig{
+				Sink: msink, Run: key, EpochNS: epoch,
+			}}
 		}
 	}
 	if *resume != "" {
@@ -292,15 +351,27 @@ func run() int {
 		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		failed += len(res.Failures)
 	}
-	if *benchJSON != "" {
-		rep := benchReport{
-			Schema:      "autorfm-bench/v1",
-			Go:          runtime.Version(),
-			Scale:       *scale,
-			Jobs:        pool.Workers(),
-			Experiments: benchRows,
-			Total:       benchDelta("total", time.Since(benchStart), benchPre, readBenchCounters(pool)),
+	if msink != nil {
+		if err := msink.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			failed++
+		} else {
+			fmt.Fprintf(os.Stderr, "metrics: %d records to %s\n", msink.Records(), *metrics)
 		}
+	}
+	if *benchJSON != "" {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rep := benchReport{
+			Schema:        "autorfm-bench/v2",
+			Go:            runtime.Version(),
+			Scale:         *scale,
+			Jobs:          pool.Workers(),
+			Experiments:   benchRows,
+			Total:         benchDelta("total", time.Since(benchStart), benchPre, readBenchCounters(pool)),
+			PeakHeapBytes: ms.HeapSys,
+		}
+		rep.TotalEventsPerSec = rep.Total.EventsPerSec
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*benchJSON, append(buf, '\n'), 0o644)

@@ -26,6 +26,7 @@ import (
 	"autorfm/internal/dram"
 	"autorfm/internal/runner"
 	"autorfm/internal/sim"
+	"autorfm/internal/telemetry"
 	"autorfm/internal/workload"
 )
 
@@ -45,6 +46,11 @@ func main() {
 		record  = flag.String("record", "", "capture the workload's core-0 access stream to this trace file and exit")
 		recN    = flag.Int("record-n", 1_000_000, "records to capture with -record")
 		replay  = flag.String("replay", "", "replay a recorded trace file on a single core instead of the synthetic workload")
+
+		metrics  = flag.String("metrics", "", "stream per-epoch telemetry of the mitigated run to this JSON-lines file (schema "+telemetry.MetricsSchema+")")
+		epochNS  = flag.Int64("epoch-ns", 0, "telemetry epoch length in simulated ns (0 = one tREFI window, 3900ns)")
+		traceOut = flag.String("trace", "", "write the mitigated run's DRAM command trace to this file as Chrome trace-event JSON (load in Perfetto)")
+		traceCap = flag.Int("trace-cap", 0, "command-trace ring capacity; oldest commands are dropped beyond it (0 = 65536)")
 	)
 	flag.Parse()
 
@@ -124,6 +130,37 @@ func main() {
 			return tr
 		}
 	}
+	// Telemetry attaches to the mitigated run only (the baseline stays
+	// unprobed — its totals are available from its printed stats), and is
+	// observational: Results are identical with or without it.
+	var (
+		probe    telemetry.Probe
+		sink     *telemetry.Sink
+		mfile    *os.File
+		cmdTrace *telemetry.CommandTrace
+	)
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mfile = f
+		sink = telemetry.NewSink(f)
+		probe.Metrics = &telemetry.MetricsConfig{
+			Sink:    sink,
+			Run:     prof.Name + "/" + mode.String(),
+			EpochNS: *epochNS,
+		}
+	}
+	if *traceOut != "" {
+		cmdTrace = telemetry.NewCommandTrace(*traceCap)
+		probe.Trace = cmdTrace
+	}
+	if probe.Metrics != nil || probe.Trace != nil {
+		scfg.Telemetry = &probe
+	}
+
 	// The mitigated run and (unless suppressed) the no-mitigation baseline
 	// are independent jobs; run both through the worker pool so they
 	// overlap on multicore machines.
@@ -167,5 +204,34 @@ func main() {
 	if wantBase {
 		fmt.Printf("slowdown      %.2f%% vs no-mitigation baseline\n",
 			sim.Slowdown(results[1], res))
+	}
+
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mfile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics       %d records to %s\n", sink.Records(), *metrics)
+	}
+	if cmdTrace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := cmdTrace.WriteChrome(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace         %d commands to %s (%d dropped by ring wrap)\n",
+			cmdTrace.Len(), *traceOut, cmdTrace.Dropped())
 	}
 }

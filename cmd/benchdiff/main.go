@@ -1,6 +1,8 @@
-// Command benchdiff compares two autorfm-bench/v1 reports (see
-// cmd/autorfm-bench -benchjson) and fails when any experiment regressed in
-// wall time beyond a tolerance. CI runs it with the committed baseline
+// Command benchdiff compares two autorfm-bench reports (schema v1 or v2;
+// see cmd/autorfm-bench -benchjson) and fails when any experiment regressed
+// in wall time beyond a tolerance. The two reports need not share a schema
+// version — both carry the per-experiment wall times the comparison is
+// built on, so a committed v1 baseline gates a freshly produced v2 report. CI runs it with the committed baseline
 // BENCH_*.json against a freshly produced report, turning the performance
 // claims in docs/PERF.md into an enforced invariant rather than a snapshot.
 //
@@ -33,7 +35,13 @@ type report struct {
 	Experiments []experiment `json:"experiments"`
 }
 
-const wantSchema = "autorfm-bench/v1"
+// knownSchemas are the report versions this tool understands. v2 extends v1
+// with process-level fields (peak heap, total events/sec) that the wall-time
+// comparison does not consume, so both load identically.
+var knownSchemas = map[string]bool{
+	"autorfm-bench/v1": true,
+	"autorfm-bench/v2": true,
+}
 
 func load(path string) (*report, error) {
 	raw, err := os.ReadFile(path)
@@ -44,8 +52,8 @@ func load(path string) (*report, error) {
 	if err := json.Unmarshal(raw, &r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.Schema != wantSchema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, wantSchema)
+	if !knownSchemas[r.Schema] {
+		return nil, fmt.Errorf("%s: unknown schema %q (want autorfm-bench/v1 or v2)", path, r.Schema)
 	}
 	return &r, nil
 }

@@ -20,6 +20,7 @@ import (
 	"autorfm/internal/mapping"
 	"autorfm/internal/mitigation"
 	"autorfm/internal/rng"
+	"autorfm/internal/telemetry"
 	"autorfm/internal/tracker"
 )
 
@@ -82,6 +83,9 @@ type Config struct {
 	AuditThreshold uint32
 	// Seed seeds all device-side PRNGs.
 	Seed uint64
+	// Trace, when non-nil, receives the device-side mitigation windows
+	// (telemetry; observational only).
+	Trace *telemetry.CommandTrace
 }
 
 func (c *Config) fillDefaults() {
@@ -272,6 +276,9 @@ func (b *Bank) StartPendingMitigation(prechargeTime clk.Tick) {
 	dur := b.cfg.Timing.MitigationTime(b.policy.NumRefreshes())
 	b.saumUntil = prechargeTime + dur
 	b.Stats.SAUMBusy += dur
+	if b.cfg.Trace != nil {
+		b.cfg.Trace.Record(prechargeTime, dur, telemetry.KindMIT, telemetry.CauseAutoRFM, b.ID, sel.Row)
+	}
 }
 
 // ExecuteRFM performs one mitigation under an explicit RFM command
@@ -348,6 +355,22 @@ func (d *Device) TotalStats() BankStats {
 		t.SAUMBusy += b.Stats.SAUMBusy
 	}
 	return t
+}
+
+// TrackerTableStats sums tracker table occupancy across the banks whose
+// tracker implements tracker.TableStats (telemetry gauges). Trackers that do
+// not expose occupancy — and wrapped trackers, e.g. under fault injection —
+// contribute nothing.
+func (d *Device) TrackerTableStats() (live, budget int, spill int64) {
+	for _, b := range d.Banks {
+		if ts, ok := b.trk.(tracker.TableStats); ok {
+			l, bu, s := ts.TableStats()
+			live += l
+			budget += bu
+			spill += s
+		}
+	}
+	return live, budget, spill
 }
 
 // MaxDamage returns the worst per-row damage observed by any bank's ledger,

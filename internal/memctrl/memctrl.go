@@ -28,6 +28,8 @@ import (
 	"autorfm/internal/dram"
 	"autorfm/internal/event"
 	"autorfm/internal/mapping"
+	"autorfm/internal/stats"
+	"autorfm/internal/telemetry"
 )
 
 // Request is one 64-byte memory transaction.
@@ -59,6 +61,14 @@ type Config struct {
 	// RAA ≥ RFMTH, but must issue it before the next ACT once RAA reaches
 	// the ceiling. Defaults to 4.
 	RAAMaxFactor int
+
+	// Trace, when non-nil, receives every issued DRAM command (telemetry;
+	// observational only). Nil — the default — costs one not-taken branch
+	// per command.
+	Trace *telemetry.CommandTrace
+	// QueueHist, when non-nil, records the bank-queue depth left behind by
+	// each column access (telemetry).
+	QueueHist *stats.Histogram
 }
 
 // Stats aggregates controller-side counters.
@@ -190,6 +200,9 @@ func (p *pracEvent) OnEvent(now clk.Tick) {
 	b.busyUntil = start + c.cfg.Timing.TRFM
 	b.nextAct = clk.Max(b.nextAct, b.busyUntil)
 	c.Stats.PRACBackoffs++
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Record(start, c.cfg.Timing.TRFM, telemetry.KindABO, telemetry.CausePRAC, b.id, 0)
+	}
 	c.dev.Banks[b.id].ExecutePRACBackoff()
 	if b.qn > 0 {
 		c.wake(b, b.busyUntil)
@@ -252,6 +265,18 @@ func New(cfg Config, dev *dram.Device, q *event.Queue) *Controller {
 // Pending returns the number of requests admitted but not yet completed
 // (writes count until their ACT/CAS issues).
 func (c *Controller) Pending() int { return c.pending }
+
+// QueueDepths reports the current total queued requests across all banks and
+// the deepest single bank queue (telemetry gauges; O(banks)).
+func (c *Controller) QueueDepths() (total, max int) {
+	for _, b := range c.banks {
+		total += b.qn
+		if b.qn > max {
+			max = b.qn
+		}
+	}
+	return total, max
+}
 
 // Submit admits a request at the current simulation time.
 func (c *Controller) Submit(req *Request) {
@@ -353,6 +378,9 @@ func (c *Controller) refresh(now clk.Tick) {
 	c.Stats.REFs++
 	c.refIdx++
 	tm := c.cfg.Timing
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Record(now, tm.TRFC, telemetry.KindREF, telemetry.CauseREF, telemetry.ChannelTrack, 0)
+	}
 	for _, b := range c.banks {
 		start := clk.Max(now, clk.Max(b.nextAct, b.busyUntil))
 		b.busyUntil = start + tm.TRFC
@@ -430,6 +458,9 @@ func (c *Controller) tryIssue(b *bankState, now clk.Tick) {
 		// succeed with Fractal Mitigation; with recursive mitigation a
 		// fresh mitigation may decline it again.
 		c.Stats.Alerts++
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.Record(now, 0, telemetry.KindALERT, telemetry.CauseAutoRFM, b.id, req.loc.Row)
+		}
 		b.busyUntil = now + c.cfg.RetryWait
 		c.wake(b, b.busyUntil)
 		return
@@ -440,6 +471,10 @@ func (c *Controller) tryIssue(b *bankState, now clk.Tick) {
 	b.actTime = now
 	b.openUntil = now + tm.TRAS
 	b.nextAct = now + tm.TRC
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Record(now, tm.TRAS, telemetry.KindACT, telemetry.CauseDemand, b.id, req.loc.Row)
+		c.cfg.Trace.Record(b.openUntil, tm.TRP, telemetry.KindPRE, telemetry.CauseDemand, b.id, req.loc.Row)
+	}
 	if c.dev.Cfg.Mode == dram.ModeRFM {
 		b.raa++
 	}
@@ -471,6 +506,13 @@ func (c *Controller) serveCAS(b *bankState, req *Request, casTime clk.Tick, hit 
 	if hit {
 		c.Stats.RowHits++
 	}
+	if c.cfg.Trace != nil {
+		kind := telemetry.KindRD
+		if req.Write {
+			kind = telemetry.KindWR
+		}
+		c.cfg.Trace.Record(casTime, tm.TBURST, kind, telemetry.CauseDemand, b.id, req.loc.Row)
+	}
 	if req.Write {
 		c.Stats.Writes++
 		if req.pooled {
@@ -484,6 +526,9 @@ func (c *Controller) serveCAS(b *bankState, req *Request, casTime clk.Tick, hit 
 		}
 	}
 	c.Stats.QueueOccupancySum += uint64(b.qn)
+	if c.cfg.QueueHist != nil {
+		c.cfg.QueueHist.Add(b.qn)
+	}
 
 	if b.qn == 0 {
 		if c.rfmActive() && b.raa >= c.cfg.RFMTH {
@@ -509,6 +554,9 @@ func (c *Controller) serveCAS(b *bankState, req *Request, casTime clk.Tick, hit 
 // the device performs a mitigation, and RAA rolls back by RFMTH.
 func (c *Controller) issueRFM(b *bankState, now clk.Tick) {
 	c.Stats.RFMs++
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Record(now, c.cfg.Timing.TRFM, telemetry.KindRFM, telemetry.CauseRFM, b.id, 0)
+	}
 	b.busyUntil = now + c.cfg.Timing.TRFM
 	b.raa -= c.cfg.RFMTH
 	if b.raa < 0 {

@@ -1,0 +1,121 @@
+package memctrl
+
+import (
+	"math"
+	"testing"
+
+	"autorfm/internal/clk"
+	"autorfm/internal/dram"
+)
+
+// The derived-rate helpers feed report tables and the telemetry layer;
+// every one of them divides by a counter that is legitimately zero at the
+// start of a run (or for the whole run, for an idle bank). These tests pin
+// the zero-denominator answer to 0 — not NaN, not Inf, not a panic — and
+// check the arithmetic on small hand-computed cases.
+
+func TestAvgReadLatency(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Stats
+		want float64
+	}{
+		{"zero reads", Stats{ReadLatencySum: 400}, 0},
+		{"empty", Stats{}, 0},
+		{"one read", Stats{Reads: 1, ReadLatencySum: clk.NS(50)}, 50},
+		{"mean of two", Stats{Reads: 2, ReadLatencySum: clk.NS(30) + clk.NS(90)}, 60},
+		{"sub-tick truncates", Stats{Reads: 3, ReadLatencySum: clk.Tick(10)}, 0.75},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.s.AvgReadLatency()
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("AvgReadLatency = %v", got)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("AvgReadLatency = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAlertPerAct(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Stats
+		want float64
+	}{
+		{"zero acts", Stats{Alerts: 7}, 0},
+		{"empty", Stats{}, 0},
+		{"no alerts", Stats{Acts: 1000}, 0},
+		{"one in four", Stats{Acts: 4, Alerts: 1}, 0.25},
+		{"every act alerts", Stats{Acts: 9, Alerts: 9}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.s.AlertPerAct()
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("AlertPerAct = %v", got)
+			}
+			if got != tc.want {
+				t.Fatalf("AlertPerAct = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRowHitRate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Stats
+		want float64
+	}{
+		{"zero accesses", Stats{RowHits: 12}, 0},
+		{"empty", Stats{}, 0},
+		{"reads only", Stats{Reads: 10, RowHits: 4}, 0.4},
+		{"writes only", Stats{Writes: 5, RowHits: 5}, 1},
+		{"mixed", Stats{Reads: 6, Writes: 2, RowHits: 2}, 0.25},
+		{"no hits", Stats{Reads: 3, Writes: 3}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.s.RowHitRate()
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("RowHitRate = %v", got)
+			}
+			if got != tc.want {
+				t.Fatalf("RowHitRate = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDisabledTelemetryZeroAllocs pins the telemetry tax at exactly zero
+// when no probe is attached: with Config.Trace and Config.QueueHist nil the
+// steady-state command path (posted writes through ACT/PRE/CAS, recurring
+// REF) must not touch the heap, same as before the telemetry layer existed.
+func TestDisabledTelemetryZeroAllocs(t *testing.T) {
+	r := newRig(dram.ModeAutoRFM, 0, "")
+	if r.c.cfg.Trace != nil || r.c.cfg.QueueHist != nil {
+		t.Fatal("rig unexpectedly probed")
+	}
+	// Warm up: grow bank queues, the write pool, and the event heap.
+	for i := 0; i < 4096; i++ {
+		r.c.SubmitWrite(r.lineFor(i%16, uint32(i%128), 0))
+		if i%32 == 0 {
+			r.drain()
+		}
+	}
+	r.drain()
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		r.c.SubmitWrite(r.lineFor(i%16, uint32(i%128), 0))
+		i++
+		if i%32 == 0 {
+			r.drain()
+		}
+	}); avg != 0 {
+		t.Fatalf("disabled-telemetry write path allocates %.2f/op", avg)
+	}
+	r.drain()
+}

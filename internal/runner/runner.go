@@ -90,6 +90,13 @@ type Progress struct {
 	// CacheHits is how many of the Done jobs were served from the cache
 	// or coalesced onto an in-flight simulation.
 	CacheHits int
+	// Failed is how many of the Done jobs returned an error (including
+	// recovered panics, timeouts and cancellations).
+	Failed int
+	// Events is the total number of discrete events dispatched by the jobs
+	// actually simulated so far (cache hits re-deliver a result without
+	// re-dispatching its events).
+	Events int64
 	// Elapsed is the time since the pool ran its first job.
 	Elapsed time.Duration
 	// ETA estimates the remaining time from the mean cost of the jobs
@@ -114,6 +121,16 @@ type Pool struct {
 	// Set it before submitting jobs.
 	JobTimeout time.Duration
 
+	// Instrument, when non-nil, is called for every job the pool actually
+	// simulates — after cache lookup, on the worker goroutine, with the
+	// job's private config copy — so the caller can attach per-run telemetry
+	// (sim.Config.Telemetry) without touching cached jobs: cache hits
+	// re-deliver results without re-emitting telemetry. Because telemetry
+	// is excluded from the cache key, the mutation must not change the
+	// simulation outcome. Set it before submitting jobs; it may be called
+	// concurrently from multiple workers.
+	Instrument func(cfg *sim.Config, key string)
+
 	sem chan struct{} // bounds concurrent simulations
 
 	mu    sync.Mutex // guards cache
@@ -126,6 +143,7 @@ type Pool struct {
 	done      int
 	submitted int
 	hits      int
+	failed    int
 	events    int64
 	started   time.Time
 }
@@ -181,7 +199,7 @@ func (p *Pool) Run(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 	if key == "" {
 		// Uncacheable (caller-supplied stream): run directly.
 		res, err := p.simulate(ctx, cfg, key)
-		p.jobDone(false)
+		p.jobDone(false, err != nil)
 		return res, err
 	}
 
@@ -190,10 +208,10 @@ func (p *Pool) Run(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		p.mu.Unlock()
 		select {
 		case <-e.ready:
-			p.jobDone(true)
+			p.jobDone(true, e.err != nil)
 			return e.res, e.err
 		case <-ctx.Done():
-			p.jobDone(false)
+			p.jobDone(false, true)
 			return sim.Result{}, ctx.Err()
 		}
 	}
@@ -210,7 +228,7 @@ func (p *Pool) Run(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		p.mu.Unlock()
 	}
 	close(e.ready)
-	p.jobDone(false)
+	p.jobDone(false, e.err != nil)
 	return e.res, e.err
 }
 
@@ -236,6 +254,9 @@ func (p *Pool) simulate(ctx context.Context, cfg sim.Config, key string) (res si
 			err = &PanicError{Key: key, Value: v, Stack: debug.Stack()}
 		}
 	}()
+	if p.Instrument != nil {
+		p.Instrument(&cfg, key)
+	}
 	res, err = sim.RunCtx(ctx, cfg)
 	if err == nil {
 		p.pmu.Lock()
@@ -275,11 +296,14 @@ func (p *Pool) jobSubmitted() {
 	p.pmu.Unlock()
 }
 
-func (p *Pool) jobDone(cached bool) {
+func (p *Pool) jobDone(cached, failed bool) {
 	p.pmu.Lock()
 	p.done++
 	if cached {
 		p.hits++
+	}
+	if failed {
+		p.failed++
 	}
 	cb := p.OnProgress
 	if cb != nil {
@@ -287,6 +311,8 @@ func (p *Pool) jobDone(cached bool) {
 			Done:      p.done,
 			Total:     p.submitted,
 			CacheHits: p.hits,
+			Failed:    p.failed,
+			Events:    p.events,
 			Elapsed:   time.Since(p.started),
 		}
 		snap.ETA = estimateETA(p.done, p.hits, p.submitted, snap.Elapsed)

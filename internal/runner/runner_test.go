@@ -343,3 +343,93 @@ func TestCheckpointSkipsDamage(t *testing.T) {
 		t.Fatal("intact record was not served from cache")
 	}
 }
+
+// TestInstrumentOnlySimulatedJobs: the Instrument hook fires once per
+// actual simulation — cache hits and in-flight duplicates re-deliver the
+// memoized Result without re-instrumenting, and the hook's config mutation
+// stays private to the simulated job (the caller's slice is untouched).
+func TestInstrumentOnlySimulatedJobs(t *testing.T) {
+	ctx := context.Background()
+	p := New(4)
+	var mu sync.Mutex
+	var keys []string
+	p.Instrument = func(c *sim.Config, key string) {
+		mu.Lock()
+		keys = append(keys, key)
+		mu.Unlock()
+		c.Telemetry = nil // mutation must not leak to the submitted configs
+	}
+	base := cfg(t, "bwaves", nil)
+	jobs := []sim.Config{base, base, cfg(t, "mcf", nil), base}
+	if _, errs := p.RunAll(ctx, jobs); FirstError(errs) != nil {
+		t.Fatal(FirstError(errs))
+	}
+	if len(keys) != 2 {
+		t.Fatalf("Instrument fired %d times (%v), want 2 (one per unique config)", len(keys), keys)
+	}
+	if keys[0] == "" || keys[1] == "" || keys[0] == keys[1] {
+		t.Fatalf("bad keys: %v", keys)
+	}
+	// A second submission of the cached config must not re-instrument.
+	if _, err := p.Run(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("cache hit re-ran Instrument: %v", keys)
+	}
+}
+
+// TestInstrumentUncacheable: keyless (NewStream) jobs are always simulated,
+// so each submission instruments with an empty key.
+func TestInstrumentUncacheable(t *testing.T) {
+	ctx := context.Background()
+	p := New(2)
+	var mu sync.Mutex
+	empties := 0
+	p.Instrument = func(c *sim.Config, key string) {
+		mu.Lock()
+		if key == "" {
+			empties++
+		}
+		mu.Unlock()
+	}
+	c := cfg(t, "bwaves", func(c *sim.Config) {
+		c.Cores = 1
+		c.NewStream = func(core int) cpu.Stream {
+			return workload.NewGenerator(c.Workload, core, 7)
+		}
+	})
+	if _, errs := p.RunAll(ctx, []sim.Config{c, c}); FirstError(errs) != nil {
+		t.Fatal(FirstError(errs))
+	}
+	if empties != 2 {
+		t.Fatalf("keyless jobs instrumented %d times, want 2", empties)
+	}
+}
+
+// TestProgressFailedAndEvents: Progress reports failed jobs and cumulative
+// dispatched events alongside the done/cached counts.
+func TestProgressFailedAndEvents(t *testing.T) {
+	ctx := context.Background()
+	p := New(2)
+	var mu sync.Mutex
+	var last Progress
+	p.OnProgress = func(pr Progress) {
+		mu.Lock()
+		last = pr
+		mu.Unlock()
+	}
+	bad := cfg(t, "bwaves", func(c *sim.Config) { c.Cores = -1 })
+	jobs := []sim.Config{cfg(t, "bwaves", nil), bad, cfg(t, "mcf", nil)}
+	results, errs := p.RunAll(ctx, jobs)
+	if FirstError(errs) == nil {
+		t.Fatal("bad config did not fail")
+	}
+	if last.Done != 3 || last.Failed != 1 {
+		t.Fatalf("progress %+v, want Done=3 Failed=1", last)
+	}
+	wantEvents := results[0].Events + results[2].Events
+	if last.Events != wantEvents {
+		t.Fatalf("progress events %d, want %d (sum of successful jobs)", last.Events, wantEvents)
+	}
+}

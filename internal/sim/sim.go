@@ -41,6 +41,8 @@ import (
 	"autorfm/internal/memctrl"
 	"autorfm/internal/mitigation"
 	"autorfm/internal/rng"
+	"autorfm/internal/stats"
+	"autorfm/internal/telemetry"
 	"autorfm/internal/tracker"
 	"autorfm/internal/workload"
 )
@@ -90,6 +92,13 @@ type Config struct {
 	// checkpoint-serializable (such configs are never checkpointed anyway:
 	// they have no cache key).
 	NewStream func(core int) cpu.Stream `json:"-"`
+	// Telemetry, when set, attaches the observability probes of
+	// internal/telemetry (epoch metrics sampler and/or DRAM command trace)
+	// to the run. Telemetry is strictly observational: the Result is
+	// identical with and without it (pinned by TestTelemetryDoesNotChangeResult),
+	// so it is deliberately excluded from Key() and from JSON — a probed run
+	// may reuse a cached unprobed Result and vice versa.
+	Telemetry *telemetry.Probe `json:"-"`
 }
 
 func (c *Config) fillDefaults() {
@@ -313,6 +322,26 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	// Resolve the telemetry attachment early: both surfaces are optional and
+	// strictly observational (see the Telemetry field's contract).
+	var (
+		trace   *telemetry.CommandTrace
+		metrics *telemetry.MetricsConfig
+	)
+	if cfg.Telemetry != nil {
+		trace = cfg.Telemetry.Trace
+		metrics = cfg.Telemetry.Metrics
+		if metrics != nil && metrics.Sink == nil {
+			return Result{}, fmt.Errorf("sim: telemetry metrics enabled without a sink")
+		}
+		if metrics != nil && metrics.EpochNS < 0 {
+			return Result{}, fmt.Errorf("sim: negative telemetry epoch %dns", metrics.EpochNS)
+		}
+		if trace != nil {
+			trace.SetTiming(timing)
+		}
+	}
+
 	dcfg := dram.Config{
 		Geo:     geo,
 		Timing:  timing,
@@ -320,6 +349,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		TH:      cfg.TH,
 		PRACETh: cfg.PRACETh,
 		Seed:    cfg.Seed,
+		Trace:   trace,
 	}
 	// Validate the policy name here so an unknown policy is a returned
 	// error, not a panic inside the per-bank constructor below.
@@ -378,11 +408,45 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	dev := dram.NewDevice(dcfg)
 	q := &event.Queue{}
 	mcCfg := memctrl.Config{Timing: timing, Mapper: mapper, RFMTH: cfg.TH,
-		RAAMaxFactor: cfg.RAAMaxFactor}
+		RAAMaxFactor: cfg.RAAMaxFactor, Trace: trace}
 	if cfg.RetryWaitNS > 0 {
 		mcCfg.RetryWait = clk.NS(cfg.RetryWaitNS)
 	}
+	var qHist *stats.Histogram
+	if metrics != nil {
+		qHist = stats.NewHistogram()
+		mcCfg.QueueHist = qHist
+	}
 	mc := memctrl.New(mcCfg, dev, q)
+
+	// The epoch sampler rides the event queue as a periodic timer. It is
+	// armed after the controller so that at a tied tick the REF dispatches
+	// before the sample (insertion order breaks ties), keeping each REF in
+	// the epoch that contains it. Sampler firings are dispatched events like
+	// any other, so they are counted separately and subtracted from
+	// Result.Events below — Results stay identical with telemetry on or off.
+	var (
+		sampler     *telemetry.EpochSampler
+		samplerT    *event.Timer
+		epochStart  clk.Tick
+		epochPeriod clk.Tick
+		probeEvents int64
+	)
+	if metrics != nil {
+		sampler = telemetry.NewEpochSampler(metrics)
+		epochPeriod = timing.TREFI
+		if metrics.EpochNS > 0 {
+			epochPeriod = clk.NS(metrics.EpochNS)
+		}
+		samplerT = event.NewTimer(q, func(now clk.Tick) {
+			probeEvents++
+			cum, g := telemetrySnapshot(mc, dev)
+			sampler.Sample(epochStart, now, cum, g)
+			epochStart = now
+			samplerT.At(now + epochPeriod)
+		})
+		samplerT.At(q.Now() + epochPeriod)
+	}
 	llcCfg := cache.DefaultConfig()
 	if cfg.PrefetchDegree > 0 {
 		llcCfg.PrefetchDegree = cfg.PrefetchDegree
@@ -431,11 +495,18 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	if cancelled {
 		return Result{}, fmt.Errorf("sim: run cancelled at t=%v: %w", q.Now(), ctx.Err())
 	}
+	if sampler != nil {
+		// Close the stream: the final partial epoch (if anything happened
+		// after the last boundary) and the run-level summary.
+		cum, g := telemetrySnapshot(mc, dev)
+		sampler.Flush(epochStart, q.Now(), cum, g)
+		sampler.Summary(q.Now(), qHist)
+	}
 
 	res := Result{
 		Config:      cfg,
 		FinishTimes: make([]clk.Tick, len(cores)),
-		Events:      events,
+		Events:      events - probeEvents,
 		MC:          mc.Stats,
 		Dev:         dev.TotalStats(),
 		Cache:       llc.Stats,
@@ -449,6 +520,31 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// telemetrySnapshot assembles the cumulative telemetry counter set and the
+// boundary gauges from the controller and device statistics. It is the one
+// place that defines what each metrics field means, which is what lets
+// TestEpochRecordsSumToTotals pin "epoch deltas sum to end-of-run totals".
+func telemetrySnapshot(mc *memctrl.Controller, dev *dram.Device) (telemetry.Counters, telemetry.Gauges) {
+	ds := dev.TotalStats()
+	c := telemetry.Counters{
+		Acts:            mc.Stats.Acts,
+		RowHits:         mc.Stats.RowHits,
+		Reads:           mc.Stats.Reads,
+		Writes:          mc.Stats.Writes,
+		REFs:            mc.Stats.REFs,
+		RFMs:            mc.Stats.RFMs,
+		Alerts:          mc.Stats.Alerts,
+		PRACBackoffs:    mc.Stats.PRACBackoffs,
+		Mitigations:     ds.Mitigations,
+		VictimRefreshes: ds.VictimRefreshes,
+		ABOAlerts:       ds.ABOAlerts,
+	}
+	var g telemetry.Gauges
+	g.QueueDepth, g.QueueDepthMax = mc.QueueDepths()
+	g.TrackerLive, g.TrackerBudget, g.TrackerSpill = dev.TrackerTableStats()
+	return c, g
 }
 
 // prewarm fills the LLC to steady-state occupancy so short slices see the

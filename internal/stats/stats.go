@@ -111,6 +111,69 @@ func (h *Histogram) Fraction(v int) float64 {
 	return float64(h.Count(v)) / float64(h.total)
 }
 
+// Quantile returns the smallest observed value v whose cumulative frequency
+// reaches p (0 < p <= 1): the p-quantile of the recorded distribution.
+// p <= 0 returns the minimum observed value, p >= 1 the maximum, and an
+// empty histogram returns 0. Both the dense range and the overflow tail
+// (including negative values) are considered.
+func (h *Histogram) Quantile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0 // a negative product would wrap when converted to uint64
+	}
+	// Rank of the target observation, 1-based: ceil(p * total), clamped to
+	// [1, total] so p<=0 selects the minimum.
+	rank := uint64(math.Ceil(p * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	// Walk values in ascending order: negative tail keys, the dense range,
+	// then tail keys >= denseSize. The tail is tiny (out-of-range
+	// observations only), so sorting its keys here is cheap.
+	var neg, pos []int
+	for v, c := range h.tail {
+		if c == 0 {
+			continue
+		}
+		if v < 0 {
+			neg = append(neg, v)
+		} else {
+			pos = append(pos, v)
+		}
+	}
+	sort.Ints(neg)
+	sort.Ints(pos)
+	var cum uint64
+	for _, v := range neg {
+		if cum += h.tail[v]; cum >= rank {
+			return v
+		}
+	}
+	for v, c := range h.dense {
+		if c == 0 {
+			continue
+		}
+		if cum += c; cum >= rank {
+			return v
+		}
+	}
+	for _, v := range pos {
+		if cum += h.tail[v]; cum >= rank {
+			return v
+		}
+	}
+	// Unreachable: cum == total >= rank by the clamp above.
+	return h.Max()
+}
+
 // Max returns the largest observed value (0 if empty).
 func (h *Histogram) Max() int {
 	max := 0

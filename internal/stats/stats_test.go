@@ -81,3 +81,101 @@ func TestTable(t *testing.T) {
 		t.Fatalf("table has %d lines:\n%s", len(lines), s)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	fill := func(vals ...int) *Histogram {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(v)
+		}
+		return h
+	}
+	uniform := NewHistogram()
+	for v := 0; v < 100; v++ {
+		uniform.Add(v)
+	}
+	mixed := fill(1, 2, 3, histDenseSize+10, histDenseSize+10, histDenseSize+500)
+	withNeg := fill(-9, -3, 0, 4, histDenseSize+1)
+
+	cases := []struct {
+		name string
+		h    *Histogram
+		p    float64
+		want int
+	}{
+		{"empty", NewHistogram(), 0.5, 0},
+		{"p<=0 is min", fill(3, 7, 9), 0, 3},
+		{"negative p is min", fill(3, 7, 9), -1, 3},
+		{"p>=1 is max", fill(3, 7, 9), 1, 9},
+		{"p>1 clamps", fill(3, 7, 9), 2, 9},
+		{"single value", fill(42), 0.5, 42},
+		{"dense median", uniform, 0.5, 49},
+		{"dense p90", uniform, 0.9, 89},
+		{"dense p99", uniform, 0.99, 98},
+		{"tail-only", fill(histDenseSize+5, histDenseSize+5, histDenseSize+80), 0.5, histDenseSize + 5},
+		{"tail-only max", fill(histDenseSize+5, histDenseSize+80), 1, histDenseSize + 80},
+		{"negative tail min", withNeg, 0, -9},
+		{"negative tail p40", withNeg, 0.4, -3},
+		{"dense+tail crossover", mixed, 0.5, 3},
+		{"dense+tail p99", mixed, 0.99, histDenseSize + 500},
+		{"weighted median", fill(1, 5, 5, 5, 5), 0.5, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.h.Quantile(tc.p); got != tc.want {
+				t.Fatalf("Quantile(%v) = %d, want %d", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileMatchesSort cross-checks Quantile against the naive
+// sorted-slice definition on an awkward multiset spanning dense and tail.
+func TestHistogramQuantileMatchesSort(t *testing.T) {
+	vals := []int{-4, -4, 0, 1, 1, 1, 2, 17, 17, histDenseSize, histDenseSize + 3, histDenseSize + 3}
+	h := NewHistogram()
+	for _, v := range vals {
+		h.Add(v)
+	}
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		rank := int(math.Ceil(p * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		want := vals[rank-1] // vals is already sorted
+		if got := h.Quantile(p); got != want {
+			t.Fatalf("Quantile(%v) = %d, want %d (rank %d)", p, got, want, rank)
+		}
+	}
+}
+
+func TestHistogramMax(t *testing.T) {
+	fill := func(vals ...int) *Histogram {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(v)
+		}
+		return h
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		want int
+	}{
+		{"empty", NewHistogram(), 0},
+		{"dense only", fill(0, 3, 9, 9, 2), 9},
+		{"dense zero only", fill(0, 0), 0},
+		{"tail only", fill(histDenseSize+7, histDenseSize+2), histDenseSize + 7},
+		{"negative tail only", fill(-5, -2, -9), -2},
+		{"dense beats small tail", fill(5, -1), 5},
+		{"tail beats dense", fill(500, histDenseSize+1), histDenseSize + 1},
+		{"mixed with negatives", fill(-3, 4, histDenseSize+20), histDenseSize + 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.h.Max(); got != tc.want {
+				t.Fatalf("Max = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+// Live sweep introspection: an expvar-published snapshot of runner progress
+// plus net/http/pprof, both on the stdlib DefaultServeMux, served from one
+// -http flag on autorfm-bench. A multi-minute sweep then answers "is it
+// stuck, and where is the time going" without interrupting it:
+//
+//	curl localhost:6060/debug/vars        # {"autorfm.sweep": {...}, ...}
+//	go tool pprof localhost:6060/debug/pprof/profile
+//	curl localhost:6060/debug/pprof/goroutine?debug=1
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SweepSnapshot is one point-in-time view of a running sweep, as rendered
+// under /debug/vars.
+type SweepSnapshot struct {
+	JobsDone     int     `json:"jobs_done"`
+	JobsTotal    int     `json:"jobs_total"`
+	CacheHits    int     `json:"cache_hits"`
+	Failed       int     `json:"failed"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+	ETAMS        int64   `json:"eta_ms"`
+}
+
+// SweepStatus holds the latest SweepSnapshot; the runner's OnProgress
+// callback updates it, the expvar handler reads it. Safe for concurrent use.
+type SweepStatus struct {
+	cur atomic.Pointer[SweepSnapshot]
+}
+
+// NewSweepStatus returns a status holding an empty snapshot.
+func NewSweepStatus() *SweepStatus {
+	s := &SweepStatus{}
+	s.cur.Store(&SweepSnapshot{})
+	return s
+}
+
+// Update publishes a new snapshot, computing the derived rate from events
+// and elapsed wall time.
+func (s *SweepStatus) Update(done, total, cacheHits, failed int, events int64, elapsed, eta time.Duration) {
+	snap := &SweepSnapshot{
+		JobsDone:  done,
+		JobsTotal: total,
+		CacheHits: cacheHits,
+		Failed:    failed,
+		Events:    events,
+		ElapsedMS: elapsed.Milliseconds(),
+		ETAMS:     eta.Milliseconds(),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		snap.EventsPerSec = float64(events) / sec
+	}
+	s.cur.Store(snap)
+}
+
+// Snapshot returns the latest snapshot (never nil).
+func (s *SweepStatus) Snapshot() SweepSnapshot { return *s.cur.Load() }
+
+// String renders the snapshot as JSON; SweepStatus implements expvar.Var.
+func (s *SweepStatus) String() string {
+	buf, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(buf)
+}
+
+var (
+	publishOnce  sync.Once
+	publishedVar atomic.Pointer[SweepStatus]
+)
+
+// PublishSweep exposes st as the expvar "autorfm.sweep". expvar panics on a
+// duplicate name, so the name is registered once per process and re-pointed
+// at the most recent status on later calls (tests construct several).
+func PublishSweep(st *SweepStatus) {
+	publishedVar.Store(st)
+	publishOnce.Do(func() {
+		expvar.Publish("autorfm.sweep", expvar.Func(func() interface{} {
+			if cur := publishedVar.Load(); cur != nil {
+				return cur.Snapshot()
+			}
+			return SweepSnapshot{}
+		}))
+	})
+}
+
+// ServeIntrospection binds addr (e.g. ":6060" or "localhost:0") and serves
+// the DefaultServeMux — /debug/vars from expvar and /debug/pprof/* from
+// net/http/pprof — on a background goroutine. It returns the bound address
+// (useful with port 0) or an error if the listen fails. The listener lives
+// for the remainder of the process, matching the lifetime of a sweep.
+func ServeIntrospection(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// Serve only returns on listener failure; the process is exiting then
+		// anyway, and introspection must never take the sweep down with it.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,66 @@
+package telemetry_test
+
+// CI's observability smoke job generates a metrics file and a trace file
+// with the real binaries, then runs this test against them:
+//
+//	AUTORFM_METRICS_FILE=m.jsonl AUTORFM_TRACE_FILE=t.json \
+//	    go test -run TestValidateFiles ./internal/telemetry
+//
+// Keeping the validator a Go test keeps CI free of external JSON tooling
+// and keeps the schema check identical to what the unit tests enforce.
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"testing"
+
+	"autorfm/internal/telemetry"
+)
+
+func TestValidateFiles(t *testing.T) {
+	mf := os.Getenv("AUTORFM_METRICS_FILE")
+	tf := os.Getenv("AUTORFM_TRACE_FILE")
+	if mf == "" && tf == "" {
+		t.Skip("set AUTORFM_METRICS_FILE / AUTORFM_TRACE_FILE to validate generated telemetry")
+	}
+	if mf != "" {
+		f, err := os.Open(mf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		n, epochs, summaries := 0, 0, 0
+		for sc.Scan() {
+			n++
+			if err := telemetry.ValidateMetricsLine(sc.Bytes()); err != nil {
+				t.Errorf("%s line %d: %v", mf, n, err)
+			}
+			switch {
+			case bytes.Contains(sc.Bytes(), []byte(`"kind":"epoch"`)):
+				epochs++
+			case bytes.Contains(sc.Bytes(), []byte(`"kind":"summary"`)):
+				summaries++
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if epochs == 0 {
+			t.Errorf("%s holds no epoch records (%d lines)", mf, n)
+		}
+		t.Logf("%s: %d lines (%d epochs, %d summaries) valid", mf, n, epochs, summaries)
+	}
+	if tf != "" {
+		data, err := os.ReadFile(tf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := telemetry.ValidateChromeTrace(data); err != nil {
+			t.Errorf("%s: %v", tf, err)
+		}
+		t.Logf("%s: %d bytes of valid Chrome trace JSON", tf, len(data))
+	}
+}

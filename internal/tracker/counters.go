@@ -9,6 +9,15 @@ type REFAware interface {
 	OnREF()
 }
 
+// TableStats is implemented by trackers whose table occupancy is a
+// meaningful gauge for telemetry. live is the current entry count, budget
+// the fixed entry budget (0 for unbounded tables like TWiCe's), and spill
+// the tracker's loss floor: the Misra-Gries decrement-all count for counter
+// summaries, or the number of dropped samples for FIFO trackers.
+type TableStats interface {
+	TableStats() (live, budget int, spill int64)
+}
+
 // Graphene (Park et al., MICRO'20; Section VII-D) is a deterministic
 // counter tracker built on the Misra-Gries frequent-items summary, like
 // Mithril, but it nominates a row as soon as its estimated count crosses a
@@ -92,6 +101,11 @@ func (g *Graphene) Pending() int { return g.q.len() }
 
 // TableLen returns the number of live table entries, for tests.
 func (g *Graphene) TableLen() int { return g.t.n }
+
+// TableStats reports table occupancy for telemetry.
+func (g *Graphene) TableStats() (live, budget int, spill int64) {
+	return g.t.n, g.t.budget, g.t.spill
+}
 
 // TWiCe (Lee et al., ISCA'19; Section VII-D) tracks candidate aggressors in
 // time-window counters: an entry's activation count is compared against a
@@ -218,8 +232,16 @@ func (t *TWiCe) TableSize() int { return t.n }
 // Contains reports whether row is currently tracked, for tests.
 func (t *TWiCe) Contains(row uint32) bool { return t.idx.get(row) >= 0 }
 
+// TableStats reports table occupancy for telemetry. TWiCe's table is
+// unbounded (pruning keeps it small), so the budget is 0 and nothing spills.
+func (t *TWiCe) TableStats() (live, budget int, spill int64) {
+	return t.n, 0, 0
+}
+
 var (
-	_ Tracker  = (*Graphene)(nil)
-	_ Tracker  = (*TWiCe)(nil)
-	_ REFAware = (*TWiCe)(nil)
+	_ Tracker    = (*Graphene)(nil)
+	_ Tracker    = (*TWiCe)(nil)
+	_ REFAware   = (*TWiCe)(nil)
+	_ TableStats = (*Graphene)(nil)
+	_ TableStats = (*TWiCe)(nil)
 )

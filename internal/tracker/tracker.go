@@ -185,6 +185,12 @@ func (p *PrIDE) Reset() {
 	p.Inserted, p.Dropped = 0, 0
 }
 
+// TableStats reports FIFO occupancy for telemetry; the spill floor is the
+// number of dropped samples.
+func (p *PrIDE) TableStats() (live, budget int, spill int64) {
+	return p.n, p.fifoSize, int64(p.Dropped)
+}
+
 // PARFM buffers the rows activated during the window and mitigates one of
 // them picked uniformly at random (Kim et al., HPCA'22; Section II-D).
 type PARFM struct {
@@ -331,3 +337,13 @@ func (m *Mithril) Reset() { m.t.init(m.t.budget) }
 
 // TableLen returns the number of live entries, for tests.
 func (m *Mithril) TableLen() int { return m.t.n }
+
+// TableStats reports table occupancy for telemetry.
+func (m *Mithril) TableStats() (live, budget int, spill int64) {
+	return m.t.n, m.t.budget, m.t.spill
+}
+
+var (
+	_ TableStats = (*Mithril)(nil)
+	_ TableStats = (*PrIDE)(nil)
+)
