@@ -1,0 +1,13 @@
+// Command autorfm-attack drives Rowhammer attack patterns against a bank
+// defended by a tracker + mitigation-policy stack and reports the security
+// audit: whether any row ever accumulated the threshold number of
+// neighbour activations without an intervening refresh.
+//
+// Examples:
+//
+//	autorfm-attack -pattern half-double -policy baseline -trhd 74
+//	autorfm-attack -pattern circular -policy fractal -trhd 74 -acts 5000000
+//	autorfm-attack -pattern decoy-flood -tracker "pride(fifo=8)" -trhd 74
+//	autorfm-attack -sweep -policy fractal      # find the failing threshold
+//	autorfm-attack -list-plugins
+package main

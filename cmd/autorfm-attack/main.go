@@ -1,13 +1,3 @@
-// Command autorfm-attack drives Rowhammer attack patterns against a bank
-// defended by a tracker + mitigation-policy stack and reports the security
-// audit: whether any row ever accumulated the threshold number of
-// neighbour activations without an intervening refresh.
-//
-// Examples:
-//
-//	autorfm-attack -pattern half-double -policy baseline -trhd 74
-//	autorfm-attack -pattern circular -policy fractal -trhd 74 -acts 5000000
-//	autorfm-attack -sweep -policy fractal      # find the failing threshold
 package main
 
 import (
@@ -16,6 +6,9 @@ import (
 	"os"
 
 	"autorfm/internal/attack"
+	"autorfm/internal/mitigation"
+	"autorfm/internal/plugin"
+	"autorfm/internal/tracker"
 )
 
 func pattern(name string) (attack.Pattern, error) {
@@ -39,15 +32,22 @@ func pattern(name string) (attack.Pattern, error) {
 func main() {
 	var (
 		pat    = flag.String("pattern", "double-sided", "attack pattern: single-sided|double-sided|circular|half-double|many-sided|decoy-flood")
-		policy = flag.String("policy", "fractal", "mitigation policy: fractal|recursive|baseline")
+		policy = flag.String("policy", "fractal", "mitigation policy plugin spec (see -list-plugins)")
+		trk    = flag.String("tracker", "mint", "in-DRAM tracker plugin spec, e.g. mint or pride(fifo=8) (see -list-plugins)")
 		th     = flag.Int("th", 4, "AutoRFMTH / RFMTH")
 		trhd   = flag.Uint("trhd", 74, "double-sided Rowhammer threshold under audit")
 		acts   = flag.Uint64("acts", 2_000_000, "attacker activation budget")
 		seed   = flag.Uint64("seed", 1, "seed")
 		block  = flag.Bool("blocking", false, "use blocking RFM instead of AutoRFM")
 		sweep  = flag.Bool("sweep", false, "sweep TRH-D downward to find where the defence first fails")
+		listPl = flag.Bool("list-plugins", false, "list registered trackers and policies and exit")
 	)
 	flag.Parse()
+
+	if *listPl {
+		plugin.FprintCatalog(os.Stdout, tracker.Catalog(), mitigation.Catalog())
+		return
+	}
 
 	p, err := pattern(*pat)
 	if err != nil {
@@ -59,6 +59,7 @@ func main() {
 		rep, err := attack.Run(attack.Config{
 			TH:       *th,
 			Policy:   *policy,
+			Tracker:  *trk,
 			TRHD:     trhd,
 			Acts:     *acts,
 			Seed:     *seed,
@@ -72,7 +73,7 @@ func main() {
 	}
 
 	if *sweep {
-		fmt.Printf("sweeping %s vs %s (TH=%d, %d acts per point)\n", *pat, *policy, *th, *acts)
+		fmt.Printf("sweeping %s vs %s/%s (TH=%d, %d acts per point)\n", *pat, *trk, *policy, *th, *acts)
 		fmt.Printf("%8s %10s %12s\n", "TRH-D", "failures", "max damage")
 		for _, t := range []uint32{148, 96, 74, 53, 40, 30, 20, 10} {
 			rep := run(t)
@@ -83,7 +84,7 @@ func main() {
 
 	rep := run(uint32(*trhd))
 	fmt.Printf("pattern       %s\n", p.Name)
-	fmt.Printf("defence       MINT-%d + %s (%s)\n", *th, *policy,
+	fmt.Printf("defence       %s TH=%d + %s (%s)\n", *trk, *th, *policy,
 		map[bool]string{true: "blocking RFM", false: "AutoRFM"}[*block])
 	fmt.Printf("threshold     TRH-D %d (audit fails a row at %d single-sided activations)\n",
 		*trhd, 2**trhd)

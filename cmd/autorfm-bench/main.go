@@ -1,29 +1,3 @@
-// Command autorfm-bench regenerates the paper's tables and figures.
-//
-// Simulations run on a worker pool (-j, default all CPUs) with a shared
-// result cache, so duplicate configurations across experiments — above all
-// each workload's no-mitigation baseline — are simulated once per
-// invocation. Parallelism never changes the output: for a fixed seed the
-// tables are byte-identical at any -j. Progress (jobs done/total, elapsed,
-// ETA) is reported on stderr while experiments run.
-//
-// The run is resilient: a job that panics or exceeds -timeout renders as
-// an ERR cell with a footnoted cause while the rest of the sweep
-// completes, and the process exits non-zero only after emitting everything
-// it computed. SIGINT/SIGTERM cancel cleanly; with -resume the completed
-// jobs are streamed to a JSON-lines checkpoint as they finish, and a later
-// invocation with the same flag continues where the interrupted one
-// stopped, producing byte-identical output.
-//
-// Examples:
-//
-//	autorfm-bench -list                 # show available experiments
-//	autorfm-bench -exp fig3             # one experiment at quick scale
-//	autorfm-bench -exp all -scale full  # everything at publication scale
-//	autorfm-bench -exp fig3 -j 1        # serial (same bytes as -j 32)
-//	autorfm-bench -exp fig8 -instr 500000 -workloads bwaves,lbm,mcf
-//	autorfm-bench -exp all -resume run.ckpt    # interrupt, rerun, continue
-//	autorfm-bench -exp fault -fault-drop 0.1   # fault-injection study
 package main
 
 import (
@@ -42,9 +16,12 @@ import (
 
 	"autorfm"
 	"autorfm/internal/fault"
+	"autorfm/internal/mitigation"
+	"autorfm/internal/plugin"
 	"autorfm/internal/runner"
 	"autorfm/internal/sim"
 	"autorfm/internal/telemetry"
+	"autorfm/internal/tracker"
 )
 
 // benchExperiment is one experiment's cost in a -benchjson report. Counter
@@ -132,10 +109,12 @@ func run() int {
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress line")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		listPl  = flag.Bool("list-plugins", false, "list registered trackers, policies and fault injectors and exit")
 		resume  = flag.String("resume", "", "JSON-lines checkpoint file: preload completed jobs from it and append new ones")
 		timeout = flag.Duration("timeout", 0, "per-job wall-clock limit (0 = none); an expired job renders as ERR")
 
 		chaos     = flag.Float64("chaos", 0, "chaos probability: each job independently panics with this probability (engine stress test)")
+		faults    = flag.String("faults", "", "fault injector plugin specs, e.g. act-miss(p=0.01),drop-mitigation(p=0.1); composes with the -fault-* flags")
 		faultSeed = flag.Uint64("fault-seed", 0, "fault-injector seed (default: -seed)")
 		actMiss   = flag.Float64("fault-actmiss", 0, "per-ACT probability the tracker misses the activation")
 		bitFlip   = flag.Float64("fault-bitflip", 0, "per-ACT probability of a single-bit row-address flip in the tracker")
@@ -186,6 +165,10 @@ func run() int {
 		}
 		return 0
 	}
+	if *listPl {
+		plugin.FprintCatalog(os.Stdout, tracker.Catalog(), mitigation.Catalog(), fault.Catalog())
+		return 0
+	}
 
 	var sc autorfm.Scale
 	switch *scale {
@@ -220,6 +203,12 @@ func run() int {
 		DropMitigationProb:  *dropMit,
 		DelayMitigationProb: *delayMit,
 		ChaosProb:           *chaos,
+	}
+	if *faults != "" {
+		if err := fault.ApplySpec(*faults, &sc.Fault); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 	if err := sc.Fault.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

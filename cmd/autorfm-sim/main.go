@@ -1,14 +1,3 @@
-// Command autorfm-sim runs one workload under one mitigation configuration
-// on the simulated 8-core DDR5 system and prints the performance and
-// device statistics, optionally alongside the no-mitigation baseline.
-//
-// Examples:
-//
-//	autorfm-sim -workload bwaves -mech autorfm -th 4 -mapping rubix
-//	autorfm-sim -workload mcf -mech rfm -th 8 -instr 500000
-//	autorfm-sim -record trace.arfm -workload lbm   # freeze a trace to disk
-//	autorfm-sim -replay trace.arfm -mech autorfm   # drive the sim with it
-//	autorfm-sim -list
 package main
 
 import (
@@ -24,10 +13,23 @@ import (
 	"autorfm"
 	"autorfm/internal/cpu"
 	"autorfm/internal/dram"
+	"autorfm/internal/fault"
+	"autorfm/internal/mitigation"
+	"autorfm/internal/plugin"
 	"autorfm/internal/runner"
 	"autorfm/internal/sim"
 	"autorfm/internal/telemetry"
+	"autorfm/internal/tracker"
 	"autorfm/internal/workload"
+)
+
+// Out-of-tree plugins are linked in by blank-importing their packages here:
+// each plugin package registers itself in an init function, after which its
+// name works everywhere a -tracker / -policy / -faults selector is accepted
+// and shows up in -list-plugins. The rotor import below is the worked
+// example of docs/PLUGINS.md; add yours alongside it.
+import (
+	_ "autorfm/examples/plugin/rotor" // registers the "rotor" tracker
 )
 
 func main() {
@@ -36,13 +38,16 @@ func main() {
 		mech    = flag.String("mech", "autorfm", "mitigation mechanism: none|rfm|autorfm|prac")
 		th      = flag.Int("th", 4, "mitigation interval in activations (RFMTH/AutoRFMTH)")
 		mapName = flag.String("mapping", "amd-zen", "memory mapping: amd-zen|rubix|page-in-row")
-		policy  = flag.String("policy", "fractal", "victim-refresh policy: fractal|recursive|baseline")
-		trk     = flag.String("tracker", "mint", "in-DRAM tracker: mint|pride|parfm|mithril|graphene|twice")
+		policy  = flag.String("policy", "fractal", "victim-refresh policy plugin spec (see -list-plugins)")
+		trk     = flag.String("tracker", "mint", "in-DRAM tracker plugin spec, e.g. mint or mithril(entries=2048) (see -list-plugins)")
 		instr   = flag.Int64("instr", 300_000, "instructions per core")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel simulation workers (the test and baseline runs overlap)")
 		noBase  = flag.Bool("nobaseline", false, "skip the baseline run (no slowdown reported)")
 		list    = flag.Bool("list", false, "list workloads and exit")
+		listPl  = flag.Bool("list-plugins", false, "list registered trackers, policies and fault injectors and exit")
+		faults  = flag.String("faults", "", "fault injector plugin specs, e.g. act-miss(p=0.01),drop-mitigation(p=0.1)")
+		faultSd = flag.Uint64("fault-seed", 0, "seed for the fault model's randomness (with -faults)")
 		record  = flag.String("record", "", "capture the workload's core-0 access stream to this trace file and exit")
 		recN    = flag.Int("record-n", 1_000_000, "records to capture with -record")
 		replay  = flag.String("replay", "", "replay a recorded trace file on a single core instead of the synthetic workload")
@@ -59,6 +64,10 @@ func main() {
 		for _, p := range autorfm.Workloads() {
 			fmt.Printf("%-12s %-8s %8.1f %12.1f\n", p.Name, p.Suite, p.TargetACTPKI, p.TargetACTPerTREFI)
 		}
+		return
+	}
+	if *listPl {
+		plugin.FprintCatalog(os.Stdout, tracker.Catalog(), mitigation.Catalog(), fault.Catalog())
 		return
 	}
 
@@ -111,6 +120,13 @@ func main() {
 		Tracker:             *trk,
 		InstructionsPerCore: *instr,
 		Seed:                *seed,
+	}
+	if *faults != "" {
+		if err := fault.ApplySpec(*faults, &scfg.Fault); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		scfg.Fault.Seed = *faultSd
 	}
 	if *replay != "" {
 		// Replay runs the user's trace on one core; the workload profile

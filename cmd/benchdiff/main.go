@@ -1,20 +1,3 @@
-// Command benchdiff compares two autorfm-bench reports (schema v1 or v2;
-// see cmd/autorfm-bench -benchjson) and fails when any experiment regressed
-// in wall time beyond a tolerance. The two reports need not share a schema
-// version — both carry the per-experiment wall times the comparison is
-// built on, so a committed v1 baseline gates a freshly produced v2 report. CI runs it with the committed baseline
-// BENCH_*.json against a freshly produced report, turning the performance
-// claims in docs/PERF.md into an enforced invariant rather than a snapshot.
-//
-//	benchdiff [-tolerance 0.25] [-min-wall 50ms] baseline.json fresh.json
-//
-// An experiment present only in the fresh report is new and passes; one
-// present only in the baseline is reported but does not fail the run (the
-// catalog shrank deliberately or the experiment was renamed — either way a
-// wall-time comparison is meaningless). Experiments whose wall time is
-// below -min-wall in both reports are rendered but never fail the run:
-// a microsecond-scale cell (a cached table render) swings far beyond any
-// relative tolerance on scheduler noise alone.
 package main
 
 import (
@@ -23,6 +6,11 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"autorfm/internal/fault"
+	"autorfm/internal/mitigation"
+	"autorfm/internal/plugin"
+	"autorfm/internal/tracker"
 )
 
 type experiment struct {
@@ -61,7 +49,12 @@ func load(path string) (*report, error) {
 func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "maximum allowed fractional wall-time regression per experiment")
 	minWall := flag.Duration("min-wall", 50*time.Millisecond, "experiments faster than this in both reports are noise, never a failure")
+	listPl := flag.Bool("list-plugins", false, "list the registered trackers, policies and fault injectors this build compares against, and exit")
 	flag.Parse()
+	if *listPl {
+		plugin.FprintCatalog(os.Stdout, tracker.Catalog(), mitigation.Catalog(), fault.Catalog())
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.25] baseline.json fresh.json")
 		os.Exit(2)

@@ -1,0 +1,179 @@
+package autorfm
+
+// TestDocLinks is the documentation link checker CI runs: every relative
+// markdown link in README.md and docs/*.md must point at a file that
+// exists, and every fragment (#anchor) must match a heading in the target
+// file under GitHub's slugging rules. External (scheme-qualified) links are
+// out of scope — CI must not depend on the network.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// docFiles returns the markdown files under the link checker's contract.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	more, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, more...)
+}
+
+// stripFences removes fenced code blocks (``` ... ```) and inline code
+// spans so links inside examples are not checked.
+func stripFences(src string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			out.WriteString("\n")
+			continue
+		}
+		if inFence {
+			out.WriteString("\n")
+			continue
+		}
+		out.WriteString(stripInlineCode(line))
+		out.WriteString("\n")
+	}
+	return out.String()
+}
+
+func stripInlineCode(line string) string {
+	var out strings.Builder
+	inCode := false
+	for _, r := range line {
+		if r == '`' {
+			inCode = !inCode
+			continue
+		}
+		if !inCode {
+			out.WriteRune(r)
+		}
+	}
+	return out.String()
+}
+
+// slug reproduces GitHub's heading→anchor rule: lowercase, strip markdown
+// formatting, drop anything that is not a letter, digit, space, hyphen or
+// underscore, then turn spaces into hyphens. Duplicate headings get -1,
+// -2, … suffixes.
+func slug(heading string) string {
+	h := strings.TrimSpace(heading)
+	h = strings.NewReplacer("`", "", "*", "", "[", "", "]", "").Replace(h)
+	var out strings.Builder
+	for _, r := range h {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			out.WriteRune(unicode.ToLower(r))
+		case r == ' ':
+			out.WriteRune('-')
+		}
+	}
+	return out.String()
+}
+
+var headingRE = regexp.MustCompile(`^#{1,6}\s+(.*)$`)
+
+// anchorsOf returns the set of valid fragment targets in a markdown file.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading link target %s: %v", path, err)
+	}
+	anchors := make(map[string]bool)
+	counts := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		s := slug(m[1])
+		if n := counts[s]; n > 0 {
+			anchors[s+"-"+strconv.Itoa(n)] = true
+		} else {
+			anchors[s] = true
+		}
+		counts[s]++
+	}
+	return anchors
+}
+
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func TestDocLinks(t *testing.T) {
+	anchorCache := make(map[string]map[string]bool)
+	for _, file := range docFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := stripFences(string(raw))
+		for _, m := range linkRE.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", file, target, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(resolved, ".md") {
+				continue // anchors only checked in markdown targets
+			}
+			anchors, ok := anchorCache[resolved]
+			if !ok {
+				anchors = anchorsOf(t, resolved)
+				anchorCache[resolved] = anchors
+			}
+			if !anchors[frag] {
+				t.Errorf("%s: link %q: no heading in %s slugs to %q", file, target, resolved, frag)
+			}
+		}
+	}
+}
+
+// TestDocsIndexed: every file in docs/ must be reachable from the README's
+// documentation index, so new documents don't go dark.
+func TestDocsIndexed(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(raw)
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if !strings.Contains(readme, d) {
+			t.Errorf("README.md does not link %s; add it to the documentation index", d)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Plugin worked example (docs/PLUGINS.md): selecting an out-of-tree tracker
+// by name.
+//
+// The rotor package (examples/plugin/rotor) registers a toy tracker in its
+// init function; the blank import below is the only glue. After it, the
+// string "rotor(step=2)" works anywhere a tracker spec does — here through
+// the public autorfm facade, identically through autorfm-sim -tracker once
+// the import is added to that tool.
+//
+// Run with: go run ./examples/plugin
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"autorfm"
+	"autorfm/internal/tracker"
+
+	_ "autorfm/examples/plugin/rotor" // registers the "rotor" tracker
+)
+
+func main() {
+	fmt.Println("registered trackers:", strings.Join(tracker.Names(), ", "))
+
+	prof, err := autorfm.Workload("bwaves")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const instr = 200_000
+	base := autorfm.Run(autorfm.Config{Workload: prof, Instructions: instr, Seed: 1})
+
+	fmt.Println("\nAutoRFM-4 on 'bwaves', the stock tracker vs the plugin:")
+	fmt.Printf("%-14s %12s %14s\n", "tracker", "slowdown", "mitigations")
+	for _, tr := range []string{"mint", "rotor", "rotor(step=2)"} {
+		r := autorfm.Run(autorfm.Config{
+			Workload: prof, Mechanism: autorfm.AutoRFM, TH: 4,
+			Tracker: tr, Instructions: instr, Seed: 1,
+		})
+		fmt.Printf("%-14s %11.1f%% %14d\n", tr, autorfm.Slowdown(base, r), r.Dev.Mitigations)
+	}
+
+	fmt.Println("\nAutoRFM's slowdown is tracker-independent (Appendix D): the plugin")
+	fmt.Println("costs the same as MINT because the mitigation *schedule* is fixed by")
+	fmt.Println("AutoRFMTH. What a tracker changes is which rows get mitigated — and")
+	fmt.Println("rotor, being deterministic, would be trivially evaded by a real")
+	fmt.Println("attacker. See docs/PLUGINS.md for the full walk-through.")
+}

@@ -1,0 +1,79 @@
+// Package rotor is the worked example of docs/PLUGINS.md: a tracker that
+// lives outside internal/tracker and registers itself under the name
+// "rotor" from an init function. Blank-importing this package is all it
+// takes to make "rotor" selectable everywhere a tracker spec is accepted —
+// sim.Config.Tracker, autorfm-sim -tracker, the trackerzoo example.
+//
+// The tracker itself is deliberately naive — it latches every step-th
+// activation and nominates the latched row at the end of the window. It is
+// deterministic (an attacker who knows step evades it trivially), which is
+// exactly why the paper's trackers select randomly; see the threat model in
+// Section II-A.
+package rotor
+
+import (
+	"fmt"
+
+	"autorfm/internal/plugin"
+	"autorfm/internal/tracker"
+)
+
+// Rotor latches every step-th activation it observes.
+type Rotor struct {
+	step  int
+	count uint64
+	row   uint32
+	have  bool
+}
+
+// New returns a Rotor latching every step-th activation (step ≥ 1).
+func New(step int) *Rotor {
+	if step < 1 {
+		panic(fmt.Sprintf("rotor: step %d < 1", step))
+	}
+	return &Rotor{step: step}
+}
+
+// Name identifies the tracker in reports.
+func (t *Rotor) Name() string { return fmt.Sprintf("rotor-%d", t.step) }
+
+// OnActivation observes one demand activation.
+func (t *Rotor) OnActivation(row uint32) {
+	if t.count%uint64(t.step) == 0 {
+		t.row, t.have = row, true
+	}
+	t.count++
+}
+
+// SelectForMitigation nominates the most recently latched row.
+func (t *Rotor) SelectForMitigation() tracker.Selection {
+	if !t.have {
+		return tracker.Selection{}
+	}
+	t.have = false
+	return tracker.Selection{Row: t.row, Level: 1, OK: true}
+}
+
+// Reset clears all tracking state.
+func (t *Rotor) Reset() { t.count, t.row, t.have = 0, 0, false }
+
+// The registration: after this init runs (i.e. after any import of this
+// package), "rotor" and "rotor(step=8)" are valid tracker specs.
+func init() {
+	tracker.Register(plugin.Info{
+		Name: "rotor",
+		Doc:  "example plugin (docs/PLUGINS.md): latch every step-th activation, deterministically",
+		Params: []plugin.ParamSpec{
+			{Name: "step", Default: "TH", Doc: "latch period in activations"},
+		},
+	}, func(s *plugin.Spec, env tracker.Env) (tracker.Tracker, error) {
+		step := s.Int("step", env.TH)
+		if err := s.Finish(); err != nil {
+			return nil, err
+		}
+		if step < 1 {
+			return nil, fmt.Errorf("step %d < 1", step)
+		}
+		return New(step), nil
+	})
+}

@@ -21,6 +21,8 @@ import (
 	"autorfm/internal/clk"
 	"autorfm/internal/rng"
 	"autorfm/internal/tracker"
+
+	_ "autorfm/examples/plugin/rotor" // plugin trackers join the zoo by blank import
 )
 
 func main() {
@@ -31,9 +33,12 @@ func main() {
 	const instr = 200_000
 	base := autorfm.Run(autorfm.Config{Workload: prof, Instructions: instr, Seed: 1})
 
-	fmt.Println("AutoRFM-4 on 'pagerank', one run per tracker:")
+	// The zoo is the registry: every tracker registered by the library —
+	// plus any plugin linked in by blank import, like rotor above — gets a
+	// row, with no list to keep in sync here.
+	fmt.Println("AutoRFM-4 on 'pagerank', one run per registered tracker:")
 	fmt.Printf("%-10s %12s %14s\n", "tracker", "slowdown", "mitigations")
-	for _, tr := range []string{"mint", "pride", "parfm", "mithril", "graphene", "twice"} {
+	for _, tr := range tracker.Names() {
 		r := autorfm.Run(autorfm.Config{
 			Workload: prof, Mechanism: autorfm.AutoRFM, TH: 4,
 			Mapping: "rubix", Tracker: tr, Instructions: instr, Seed: 1,

@@ -1,15 +1,3 @@
-// Package analytic implements the paper's closed-form security models:
-//
-//   - Appendix A (Eqs 1–7): the MTTF model of MINT under RFM/AutoRFM, which
-//     yields the tolerated Rowhammer threshold (TRH-D) as a function of the
-//     mitigation window — the numbers behind Table III, Table VI, Fig 14
-//     and Fig 18.
-//   - Appendix B (Eqs 8–10): the security of Fractal Mitigation against
-//     attacks that weaponise its own victim refreshes, including the
-//     escape-probability curves of Fig 16 and the mixed-attack argument.
-//
-// The same machinery generalises to other trackers (Appendix D) through an
-// empirically-measured per-activation selection probability.
 package analytic
 
 import (

@@ -1,14 +1,3 @@
-// Package attack implements the Rowhammer attack patterns of the paper's
-// threat model (Section II-A) and a security-audit harness that drives a
-// single DRAM bank at the attacker's maximum activation rate, with the
-// per-row damage ledger checking whether any row ever accumulates the
-// threshold number of neighbour activations without an intervening refresh.
-//
-// Patterns include the classic single- and double-sided hammers, the
-// (ABCD)^K circular pattern that is optimal against window trackers
-// (Appendix A), Half-Double-style transitive attacks that weaponise victim
-// refreshes (Section V-A), many-sided TRRespass-style sweeps, and a
-// FIFO-flooding decoy pattern aimed at buffered trackers.
 package attack
 
 import (
@@ -105,9 +94,14 @@ func DecoyFlood(victim uint32, decoys int) Pattern {
 type Config struct {
 	// TH is the mitigation interval (AutoRFMTH / RFMTH).
 	TH int
-	// Policy is "fractal", "recursive", or "baseline".
+	// Policy selects the registered mitigation policy by name ("fractal",
+	// "recursive", "baseline", or any plugin registered with
+	// mitigation.Register).
 	Policy string
-	// Recursive MINT slot reservation follows the policy automatically.
+	// Tracker selects the registered tracker by plugin spec, e.g. "mint" or
+	// "pride(fifo=8)". Empty means "mint", the paper's representative.
+	// Recursive slot reservation follows the policy automatically.
+	Tracker string
 	// TRHD is the double-sided threshold under audit: the ledger records a
 	// failure when any row takes 2×TRHD single-sided damage.
 	TRHD uint32
@@ -149,7 +143,22 @@ func Run(cfg Config, p Pattern) (Report, error) {
 	if cfg.Blocking {
 		dcfg.Mode = dram.ModeRFM
 	}
-	recursive := cfg.Policy == "recursive"
+	probe, err := mitigation.ByName(cfg.Policy, rng.New(0))
+	if err != nil {
+		return Report{}, err
+	}
+	recursive := probe.Recursive()
+	trkSel := cfg.Tracker
+	if trkSel == "" {
+		trkSel = "mint"
+	}
+	buildTrk, err := tracker.FromSpec(trkSel)
+	if err != nil {
+		return Report{}, err
+	}
+	if _, err := buildTrk(tracker.Env{TH: cfg.TH, Recursive: recursive, R: rng.New(0)}); err != nil {
+		return Report{}, err
+	}
 	dcfg.NewPolicy = func(bank int, r *rng.Source) mitigation.Policy {
 		pol, err := mitigation.ByName(cfg.Policy, r)
 		if err != nil {
@@ -158,10 +167,11 @@ func Run(cfg Config, p Pattern) (Report, error) {
 		return pol
 	}
 	dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
-		return tracker.NewMINT(cfg.TH, recursive, r)
-	}
-	if _, err := mitigation.ByName(cfg.Policy, rng.New(0)); err != nil {
-		return Report{}, err
+		trk, err := buildTrk(tracker.Env{Bank: bank, TH: cfg.TH, Recursive: recursive, R: r})
+		if err != nil {
+			panic(err)
+		}
+		return trk
 	}
 
 	dev := dram.NewDevice(dcfg)

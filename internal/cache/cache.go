@@ -1,15 +1,3 @@
-// Package cache models the shared last-level cache of the baseline system
-// (Table IV: 8MB, 16-way, 64B lines): set-associative LRU with write-back,
-// write-allocate semantics and MSHR-style merging of misses to the same
-// line. Dirty evictions become posted write requests to the memory
-// controller — these writebacks are real DRAM activations and therefore
-// count toward Rowhammer pressure and RFM accounting, which is why the
-// cache is modelled rather than approximated with a flat miss rate.
-//
-// The miss path is allocation-free at steady state: MSHRs are pooled and
-// carry their DRAM request and its fill callback pre-bound, writebacks
-// draw pooled requests from the controller (SubmitWrite), and the stream
-// detector's recency window is a fixed ring.
 package cache
 
 import (

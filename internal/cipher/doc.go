@@ -1,0 +1,16 @@
+// Package cipher implements a low-latency, bit-length-parameterisable block
+// cipher over memory line addresses.
+//
+// Rubix (Saxena et al., ASPLOS'24) randomises the line-to-row mapping by
+// encrypting the physical line address with K-cipher, a 3-cycle
+// bit-parameterisable cipher. K-cipher itself is not public, so this package
+// provides the property Rubix actually needs: a keyed pseudo-random
+// *bijection* on the n-bit line-address space, cheap enough to model a
+// few-cycle hardware latency, with an exact inverse so the memory controller
+// can map encrypted addresses back for debugging and audit.
+//
+// The construction is a balanced-ish Feistel network (works for any width,
+// even or odd) with four rounds and a splitmix-style round function. Four
+// Feistel rounds over a strong round function give full diffusion, which is
+// all the randomised mapping requires.
+package cipher

@@ -1,0 +1,7 @@
+// Package clk defines the simulation time base and the DDR5 timing
+// parameters used throughout the memory-system model.
+//
+// All simulation time is expressed in Ticks. One Tick is one CPU cycle at
+// 4 GHz, i.e. 0.25 ns. DRAM timings from the DDR5 specification (Table I of
+// the AutoRFM paper) are integer nanoseconds, so they convert exactly.
+package clk

@@ -1,0 +1,14 @@
+// Package dram models the DRAM device side of the memory system: banks made
+// of subarrays, the in-DRAM Rowhammer tracker and mitigation engine, the
+// Subarray-Under-Mitigation (SAUM) state machine of AutoRFM with its ALERT
+// signalling (Section IV), per-row PRAC activation counters with ABO
+// alerting (Section VII-A), and an optional per-row activation ledger used
+// by the security-audit harness.
+//
+// The device is passive with respect to timing: the memory controller
+// (internal/memctrl) owns the clock and the command schedule and tells each
+// bank when commands happen. The bank model answers the questions only the
+// device can answer — "does this ACT conflict with a mitigation?", "which
+// row does the tracker nominate?", "did a PRAC counter overflow?" — and
+// keeps the device-side statistics.
+package dram

@@ -1,0 +1,20 @@
+// Package event provides the discrete-event engine that drives the
+// memory-system simulation. Components schedule callbacks at absolute
+// simulation times; the queue dispatches them in time order with a stable
+// FIFO tie-break so runs are deterministic.
+//
+// The queue is built for the simulator's hot path: a timing wheel (calendar
+// queue) of wheelSize one-tick buckets covers the near future, where
+// profiling shows essentially every event lands (DRAM timings span a few to
+// a few thousand ticks), so scheduling and dispatch are O(1) — an append to
+// an intrusive per-bucket FIFO and a two-level bitmap scan — instead of a
+// heap sift. Events beyond the wheel horizon (REF timers and other
+// microsecond-scale rearms) go to a small typed 4-ary min-heap and migrate
+// into the wheel as the clock approaches them. Items carry a Handler
+// interface; both pooled event objects (pointer receivers) and plain Func
+// callbacks are pointer-shaped, so storing either in an item never
+// allocates. Components with per-event payload implement Handler on
+// free-listed structs they re-arm (see internal/cpu, internal/memctrl,
+// internal/cache); components with a single recurring callback bind it
+// once in a Timer.
+package event

@@ -1,22 +1,3 @@
-// Package mapping translates physical line addresses (64-byte cache lines)
-// into DRAM coordinates: bank, row, and column.
-//
-// The memory mapping policy decides which lines are co-resident in a row and
-// therefore in a subarray, which is the property AutoRFM's performance hinges
-// on (Section IV-E of the paper): a mapping that keeps spatially-close lines
-// in the same row makes consecutive requests conflict with the Subarray
-// Under Mitigation, while a randomised mapping (Rubix) drives the conflict
-// probability down to ~1/256.
-//
-// Three mappings are provided:
-//
-//   - ZenMapping: the paper's baseline (AMD Zen, Table IV) — two lines of
-//     each 4KB page per bank, both in the same row, page spread over 32
-//     banks with consecutive lines alternating subchannels.
-//   - RubixMapping: line address encrypted by a low-latency block cipher
-//     before decomposition, per Rubix (ASPLOS'24).
-//   - PageInRowMapping: a conventional open-page-friendly mapping that puts
-//     an entire 4KB page in one row; used in tests and as a worst case.
 package mapping
 
 import (

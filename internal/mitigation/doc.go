@@ -1,0 +1,17 @@
+// Package mitigation implements the victim-refresh policies of Section V:
+// the baseline blast-radius-2 refresh, Recursive Mitigation (the prior
+// defence against transitive attacks), and the paper's proposed Fractal
+// Mitigation.
+//
+// A policy converts a tracker Selection (aggressor row + mitigation level)
+// into the set of victim rows to refresh. Every policy here issues at most
+// NumRefreshes victim refreshes per mitigation, which bounds the time the
+// Subarray Under Mitigation stays busy (4 × tRC ≈ 200ns with the default of
+// four refreshes) — the property AutoRFM's deterministic-latency guarantee
+// rests on.
+//
+// Policies register themselves by name in the package's plugin registry (see
+// registry.go and internal/plugin): sim.Config.Policy selects one by spec
+// string, ByName keeps the bare-name entry point for programmatic callers,
+// and out-of-tree policies join by calling Register from an init function.
+package mitigation

@@ -1,19 +1,6 @@
-// Package mitigation implements the victim-refresh policies of Section V:
-// the baseline blast-radius-2 refresh, Recursive Mitigation (the prior
-// defence against transitive attacks), and the paper's proposed Fractal
-// Mitigation.
-//
-// A policy converts a tracker Selection (aggressor row + mitigation level)
-// into the set of victim rows to refresh. Every policy here issues at most
-// NumRefreshes victim refreshes per mitigation, which bounds the time the
-// Subarray Under Mitigation stays busy (4 × tRC ≈ 200ns with the default of
-// four refreshes) — the property AutoRFM's deterministic-latency guarantee
-// rests on.
 package mitigation
 
 import (
-	"fmt"
-
 	"autorfm/internal/rng"
 	"autorfm/internal/tracker"
 )
@@ -135,17 +122,4 @@ func (f *Fractal) Victims(sel tracker.Selection, rowsPerBank int) []uint32 {
 	f.DistanceCounts[d]++
 	v = neighbors(v, sel.Row, d, rowsPerBank)
 	return v
-}
-
-// ByName constructs a policy from its report name.
-func ByName(name string, r *rng.Source) (Policy, error) {
-	switch name {
-	case "baseline":
-		return NewBaseline(), nil
-	case "recursive":
-		return NewRecursive(), nil
-	case "fractal":
-		return NewFractal(r), nil
-	}
-	return nil, fmt.Errorf("mitigation: unknown policy %q", name)
 }

@@ -1,0 +1,49 @@
+package plugin
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Section is one plugin kind's slice of a catalog listing: a heading plus
+// the registered implementations under it.
+type Section struct {
+	Title string
+	Infos []Info
+}
+
+// FprintCatalog renders sections in the fixed-width format the cmd tools'
+// -list-plugins flag prints:
+//
+//	trackers:
+//	  graphene   Misra-Gries counter tracker ...  [entries=1024, threshold=64]
+//	  mint       single-entry uniform-selection tracker  [window=TH, recursive=policy]
+func FprintCatalog(w io.Writer, sections ...Section) {
+	for i, sec := range sections {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%s:\n", sec.Title)
+		width := 0
+		for _, in := range sec.Infos {
+			if len(in.Name) > width {
+				width = len(in.Name)
+			}
+		}
+		for _, in := range sec.Infos {
+			fmt.Fprintf(w, "  %-*s  %s", width, in.Name, in.Doc)
+			if len(in.Params) > 0 {
+				ps := make([]string, len(in.Params))
+				for j, p := range in.Params {
+					ps[j] = p.Name
+					if p.Default != "" {
+						ps[j] += "=" + p.Default
+					}
+				}
+				fmt.Fprintf(w, "  [%s]", strings.Join(ps, ", "))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package plugin provides the name-based implementation registry behind the
+// simulator's pluggable surfaces: in-DRAM trackers (internal/tracker),
+// victim-refresh policies (internal/mitigation), and fault injectors
+// (internal/fault).
+//
+// Implementations self-register from their package's init function under a
+// short name, optionally declaring the parameters they accept; configs then
+// select them with a spec string — "mint", "mithril(entries=2048)",
+// "graphene(entries=512, threshold=32)" — that is parsed and validated when
+// the configuration is validated, not on the hot path. The selected
+// constructor is bound exactly once, at system construction: the per-bank
+// trackers and policies it produces are the same concrete values the
+// simulator previously hard-wired, so the per-activation path keeps its
+// devirtualized shape and its zero-allocation guarantee.
+//
+// The registry is modeled on ramulator2's IControllerPlugin /
+// RAMULATOR_REGISTER_IMPLEMENTATION pattern: a plugin is (name, one-line
+// description, parameter schema, factory). Registration happens only during
+// package initialization — after init the registries are read-only, which is
+// what keeps them compatible with the simulator's "no package-level mutable
+// state" determinism contract.
+//
+// See docs/PLUGINS.md for the authoring guide and a worked example.
+package plugin

@@ -1,0 +1,13 @@
+// Package power implements a Micron-calculator-style DRAM power model for
+// the Fig 12 analysis: channel power decomposed into the paper's four
+// components — (a) activations and read/write bursts, (b) Other (standby
+// and termination background), (c) Refresh, and (d) Mitig (Rowhammer
+// victim refreshes).
+//
+// The per-event energies are representative DDR5 values chosen to land the
+// component magnitudes produced by the public Micron power calculator for a
+// DDR5 channel; absolute watts track the input rates, and the comparisons
+// the paper draws (Rubix's extra activations, AutoRFM's mitigation energy,
+// energy proportionality at idle) are functions of the activity counts
+// alone.
+package power

@@ -1,0 +1,13 @@
+// Package rng provides the deterministic pseudo-random number generators used
+// by the simulator and by the in-DRAM mitigation hardware models.
+//
+// Everything in the simulation must be reproducible from a seed, so we avoid
+// math/rand's global state and give every component its own generator. The
+// core generator is xoshiro256**, seeded through splitmix64, which is the
+// standard recommendation for simulation workloads.
+//
+// The package also implements the hardware primitive at the heart of Fractal
+// Mitigation (Fig 10b of the paper): drawing a 16-bit random value and
+// counting its leading zeros, which yields a geometrically-decreasing
+// distribution (probability 2^-(k+1) of exactly k leading zeros).
+package rng

@@ -1,0 +1,26 @@
+// Package sim assembles the full system of Table IV — eight out-of-order
+// cores, a shared 8MB LLC, and one DDR5 channel with 64 banks — and runs a
+// workload in rate mode (one copy of the workload per core, disjoint
+// address spaces), reporting the statistics the paper's figures are built
+// from: per-core finish times (→ weighted speedup and slowdown), ACT-PKI,
+// per-bank activations per tREFI, ALERT-per-ACT, row-hit rates, and the
+// device-side mitigation counters that feed the power model.
+//
+// # Determinism contract
+//
+// Run is a pure function of its Config: two runs with equal normalized
+// configs (see Config.Normalized) produce identical Results, bit for bit.
+// Every source of randomness in the system — workload generation, mapping
+// ciphers, tracker sampling, mitigation policies — is drawn from PRNGs
+// seeded from Config.Seed, the event queue breaks ties deterministically,
+// and no package-level mutable state exists anywhere in the simulator.
+// Consequently concurrent Runs of distinct configs are independent and
+// race-free, and a Result may be memoized under Config.Key: the parallel
+// experiment engine in internal/runner relies on exactly this contract to
+// cache and fan out simulations while keeping experiment tables
+// byte-identical to serial execution.
+//
+// The one escape hatch is Config.NewStream: a run driven by a caller-
+// supplied stream is only as deterministic as that stream, so such configs
+// have no cache key (Key returns "") and are never memoized.
+package sim

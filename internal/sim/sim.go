@@ -1,28 +1,3 @@
-// Package sim assembles the full system of Table IV — eight out-of-order
-// cores, a shared 8MB LLC, and one DDR5 channel with 64 banks — and runs a
-// workload in rate mode (one copy of the workload per core, disjoint
-// address spaces), reporting the statistics the paper's figures are built
-// from: per-core finish times (→ weighted speedup and slowdown), ACT-PKI,
-// per-bank activations per tREFI, ALERT-per-ACT, row-hit rates, and the
-// device-side mitigation counters that feed the power model.
-//
-// # Determinism contract
-//
-// Run is a pure function of its Config: two runs with equal normalized
-// configs (see Config.Normalized) produce identical Results, bit for bit.
-// Every source of randomness in the system — workload generation, mapping
-// ciphers, tracker sampling, mitigation policies — is drawn from PRNGs
-// seeded from Config.Seed, the event queue breaks ties deterministically,
-// and no package-level mutable state exists anywhere in the simulator.
-// Consequently concurrent Runs of distinct configs are independent and
-// race-free, and a Result may be memoized under Config.Key: the parallel
-// experiment engine in internal/runner relies on exactly this contract to
-// cache and fan out simulations while keeping experiment tables
-// byte-identical to serial execution.
-//
-// The one escape hatch is Config.NewStream: a run driven by a caller-
-// supplied stream is only as deterministic as that stream, so such configs
-// have no cache key (Key returns "") and are never memoized.
 package sim
 
 import (
@@ -62,10 +37,18 @@ type Config struct {
 	TH int
 	// Mapping is "amd-zen" (default), "rubix", or "page-in-row".
 	Mapping string
-	// Policy is "fractal" (default), "recursive", or "baseline".
+	// Policy selects the victim-refresh policy from the plugin registry
+	// (internal/mitigation): "fractal" (default), "recursive", "baseline",
+	// or any registered policy, optionally parameterized as
+	// "name(key=value, ...)". Unknown names and bad parameters are
+	// config-time errors.
 	Policy string
-	// Tracker is "mint" (default), "pride", "parfm", "mithril",
-	// "graphene", or "twice".
+	// Tracker selects the in-DRAM tracker from the plugin registry
+	// (internal/tracker): "mint" (default), "pride", "parfm", "para",
+	// "mithril", "graphene", "twice", or any registered tracker, optionally
+	// parameterized, e.g. "mithril(entries=2048)". Run
+	// `autorfm-sim -list-plugins` for the catalog and docs/PLUGINS.md for
+	// how to register new implementations.
 	Tracker string
 	// PRACETh is the ABO threshold for ModePRAC.
 	PRACETh int
@@ -99,6 +82,16 @@ type Config struct {
 	// so it is deliberately excluded from Key() and from JSON — a probed run
 	// may reuse a cached unprobed Result and vice versa.
 	Telemetry *telemetry.Probe `json:"-"`
+	// NewTracker, when set, overrides the Tracker selector with a caller-
+	// supplied per-bank constructor — the programmatic equivalent of a
+	// registered plugin, for trackers that take values a spec string cannot
+	// express. Like NewStream it makes the config non-memoizable (Key
+	// returns "") and is excluded from JSON.
+	NewTracker func(bank int, r *rng.Source) tracker.Tracker `json:"-"`
+	// NewPolicy likewise overrides the Policy selector with a per-bank
+	// constructor. It is probed once per Run (bank -1, throwaway PRNG) to
+	// learn whether the policy is recursive. Non-memoizable, like NewTracker.
+	NewPolicy func(bank int, r *rng.Source) mitigation.Policy `json:"-"`
 }
 
 func (c *Config) fillDefaults() {
@@ -143,8 +136,9 @@ func (c Config) Normalized() Config {
 // RetryWaitNS, RAAMaxFactor, PrefetchDegree, and Seed — after normalizing
 // defaults, so Config{TH: 0} and Config{TH: 4} share a key.
 //
-// Configs with a NewStream override are not memoizable (the stream is an
-// arbitrary caller-supplied function); for those Key returns "".
+// Configs with a NewStream, NewTracker, or NewPolicy override are not
+// memoizable (the override is an arbitrary caller-supplied function); for
+// those Key returns "".
 //
 // The key is assembled with strconv appends rather than fmt's reflection
 // (it used to be one fmt.Sprintf("%+v") per runner lookup and checkpoint
@@ -155,7 +149,7 @@ func (c Config) Normalized() Config {
 // the speedup. The runner computes the key once per job and threads it
 // through lookup, checkpoint write, and failure reporting.
 func (c Config) Key() string {
-	if c.NewStream != nil {
+	if c.NewStream != nil || c.NewTracker != nil || c.NewPolicy != nil {
 		return ""
 	}
 	n := c.Normalized()
@@ -265,8 +259,33 @@ func (c *Config) validate() error {
 	if err := c.Fault.Validate(); err != nil {
 		return err
 	}
-	// Unknown mapping, policy and tracker names error in Run itself, where
-	// the instances are built.
+	// Resolve the policy and tracker selectors against their plugin
+	// registries now, with a probe build each, so unknown names, unknown
+	// parameters, and out-of-range parameter values are all config-time
+	// errors with the offending key in the message. Caller-supplied
+	// NewTracker/NewPolicy hooks are exempt, like NewStream: programmatic
+	// construction validates itself. (Unknown mapping names still error in
+	// Run, where the mapper is built.)
+	if c.NewPolicy == nil {
+		build, err := mitigation.FromSpec(c.Policy)
+		if err != nil {
+			return err
+		}
+		if _, err := build(rng.New(0)); err != nil {
+			return err
+		}
+	}
+	if c.NewTracker == nil {
+		build, err := tracker.FromSpec(c.Tracker)
+		if err != nil {
+			return err
+		}
+		// Recursive is irrelevant to parameter validity, so the probe may
+		// run before the policy's recursive flag is known.
+		if _, err := build(tracker.Env{TH: c.TH, R: rng.New(0)}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -351,47 +370,49 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		Seed:    cfg.Seed,
 		Trace:   trace,
 	}
-	// Validate the policy name here so an unknown policy is a returned
-	// error, not a panic inside the per-bank constructor below.
-	if _, err := mitigation.ByName(cfg.Policy, rng.New(0)); err != nil {
-		return Result{}, err
+	// Resolve the policy and tracker plugins. The registry is consulted
+	// exactly once per run, here at construction: the selected constructors
+	// are bound into dram.Config's per-bank hooks, and the instances they
+	// produce are the same concrete types the per-activation hot path always
+	// called — no registry indirection survives past this point.
+	recursive := false
+	if cfg.NewPolicy != nil {
+		dcfg.NewPolicy = cfg.NewPolicy
+		recursive = cfg.NewPolicy(-1, rng.New(0)).Recursive()
+	} else {
+		build, err := mitigation.FromSpec(cfg.Policy)
+		if err != nil {
+			return Result{}, err // unreachable: validate resolved the spec
+		}
+		probe, err := build(rng.New(0))
+		if err != nil {
+			return Result{}, err
+		}
+		recursive = probe.Recursive()
+		dcfg.NewPolicy = func(bank int, r *rng.Source) mitigation.Policy {
+			p, perr := build(r)
+			if perr != nil {
+				panic(perr) // unreachable: the spec was validated above
+			}
+			return p
+		}
 	}
-	dcfg.NewPolicy = func(bank int, r *rng.Source) mitigation.Policy {
-		p, perr := mitigation.ByName(cfg.Policy, r)
-		if perr != nil {
-			panic(perr) // unreachable: the name was validated above
+	if cfg.NewTracker != nil {
+		dcfg.NewTracker = cfg.NewTracker
+	} else {
+		build, err := tracker.FromSpec(cfg.Tracker)
+		if err != nil {
+			return Result{}, err // unreachable: validate resolved the spec
 		}
-		return p
-	}
-	recursive := cfg.Policy == "recursive"
-	th := cfg.TH
-	switch cfg.Tracker {
-	case "mint":
+		th := cfg.TH
+		rec := recursive
 		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
-			return tracker.NewMINT(th, recursive, r)
+			t, terr := build(tracker.Env{Bank: bank, TH: th, Recursive: rec, R: r})
+			if terr != nil {
+				panic(terr) // unreachable: the spec was validated above
+			}
+			return t
 		}
-	case "pride":
-		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
-			return tracker.NewPrIDE(th, 4, r)
-		}
-	case "parfm":
-		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
-			return tracker.NewPARFM(th, r)
-		}
-	case "mithril":
-		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
-			return tracker.NewMithril(1024)
-		}
-	case "graphene":
-		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
-			return tracker.NewGraphene(1024, 64)
-		}
-	case "twice":
-		dcfg.NewTracker = func(bank int, r *rng.Source) tracker.Tracker {
-			return tracker.NewTWiCe(1000)
-		}
-	default:
-		return Result{}, fmt.Errorf("sim: unknown tracker %q", cfg.Tracker)
 	}
 	if cfg.Fault.Active() {
 		// Interpose the fault injectors between the device and its trackers.

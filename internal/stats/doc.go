@@ -1,0 +1,4 @@
+// Package stats provides the counters and small statistical helpers used by
+// the simulator and the experiment harness: rate computation, means and
+// geometric means, and fixed-width table rendering for paper-style output.
+package stats

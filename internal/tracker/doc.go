@@ -1,0 +1,17 @@
+// Package tracker implements the secure low-cost in-DRAM aggressor-row
+// trackers evaluated in the paper (Section II-D and Appendix D).
+//
+// A tracker lives inside one DRAM bank. It observes demand activations and,
+// when the bank is granted mitigation time (the end of an RFM/AutoRFM window),
+// nominates the row to mitigate. All trackers here are probabilistic: their
+// SRAM budget is far too small to track every aggressor deterministically,
+// so they select activations with a probability tied to the window size,
+// which in turn determines the Rowhammer threshold they can tolerate.
+//
+// Every tracker registers itself by name in the package's plugin registry
+// (see registry.go and internal/plugin): sim.Config.Tracker selects one with
+// a spec string such as "mint" or "mithril(entries=2048)", and new trackers —
+// in-tree or out — join by calling Register from an init function. The
+// registry is consulted once per run at device construction, never on the
+// per-activation path. docs/PLUGINS.md walks through authoring one.
+package tracker

@@ -1,12 +1,3 @@
-// Package tracker implements the secure low-cost in-DRAM aggressor-row
-// trackers evaluated in the paper (Section II-D and Appendix D).
-//
-// A tracker lives inside one DRAM bank. It observes demand activations and,
-// when the bank is granted mitigation time (the end of an RFM/AutoRFM window),
-// nominates the row to mitigate. All trackers here are probabilistic: their
-// SRAM budget is far too small to track every aggressor deterministically,
-// so they select activations with a probability tied to the window size,
-// which in turn determines the Rowhammer threshold they can tolerate.
 package tracker
 
 import (

@@ -1,20 +1,3 @@
-// Package workload provides synthetic trace generators standing in for the
-// paper's SPEC-2017, GAP, and STREAM workloads (Table V).
-//
-// The original evaluation replays one-billion-instruction SimPoint slices,
-// which are not redistributable. Every result in the paper, however, is a
-// function of rate and locality statistics of the access stream — the
-// activations per kilo-instruction (ACT-PKI), the per-bank activations per
-// tREFI, and the page-level spatial locality that determines row-buffer and
-// subarray behaviour. Each profile here parameterises a generator (memory
-// intensity, write fraction, footprint, sequential-stream fraction) so that
-// the simulated stream reproduces the published per-workload statistics;
-// the sim package's calibration test checks the generated ACT-PKI against
-// the Table V targets.
-//
-// Generators are deterministic given a seed and per-core disjoint: core i
-// works in its own footprint-sized slice of the physical address space, as
-// in the paper's 8-core rate mode.
 package workload
 
 import (
