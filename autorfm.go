@@ -131,6 +131,13 @@ func QuickScale() Scale { return exp.Quick() }
 // FullScale is publication-scale experiment effort (minutes per figure).
 func FullScale() Scale { return exp.Full() }
 
+// Runner is what Scale.Pool accepts: anything that can execute a batch of
+// simulation configs and return index-aligned results. A *Pool is the
+// local implementation; internal/dist's Coordinator is the distributed one
+// (used by cmd/autorfm-coord to spread a sweep across machines while
+// keeping the tables byte-identical).
+type Runner = exp.Runner
+
 // Pool is the parallel experiment engine: a worker pool that executes
 // simulation jobs concurrently and memoizes results by configuration, so
 // duplicate runs (e.g. each workload's no-mitigation baseline) are

@@ -15,6 +15,17 @@
 // invocation with the same flag continues where the interrupted one
 // stopped, producing byte-identical output.
 //
+// With -worker the process becomes a fleet worker instead of running
+// experiments itself: it leases simulation jobs from an autorfm-coord
+// coordinator over HTTP, runs them on the local pool (-j, -resume and
+// -timeout apply as usual), uploads the results, and exits 0 when the
+// coordinator reports the sweep drained. Retries are bounded with
+// exponential backoff; a worker that loses the coordinator finishes its
+// in-flight job, flushes it to the -resume spill, and exits cleanly.
+// See docs/DISTRIBUTED.md. -report writes just the deterministic table
+// bytes to a file, so a distributed sweep can be cmp'd against a local
+// one.
+//
 // Examples:
 //
 //	autorfm-bench -list                 # show available experiments
@@ -23,6 +34,8 @@
 //	autorfm-bench -exp fig3 -j 1        # serial (same bytes as -j 32)
 //	autorfm-bench -exp fig8 -instr 500000 -workloads bwaves,lbm,mcf
 //	autorfm-bench -exp all -resume run.ckpt    # interrupt, rerun, continue
+//	autorfm-bench -worker http://coord:9190    # lease jobs from a coordinator
+//	autorfm-bench -exp tab5 -report tab5.txt   # deterministic table bytes only
 //	autorfm-bench -exp fault -fault-drop 0.1   # fault-injection study
 //	autorfm-bench -exp fault -faults "drop-mitigation(p=0.1)"  # same, by name
 //	autorfm-bench -list-plugins                # registered plugin catalog

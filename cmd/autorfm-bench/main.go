@@ -6,6 +6,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"autorfm"
+	"autorfm/internal/dist"
 	"autorfm/internal/fault"
 	"autorfm/internal/mitigation"
 	"autorfm/internal/plugin"
@@ -112,6 +114,8 @@ func run() int {
 		listPl  = flag.Bool("list-plugins", false, "list registered trackers, policies and fault injectors and exit")
 		resume  = flag.String("resume", "", "JSON-lines checkpoint file: preload completed jobs from it and append new ones")
 		timeout = flag.Duration("timeout", 0, "per-job wall-clock limit (0 = none); an expired job renders as ERR")
+		workURL = flag.String("worker", "", "run as a distributed sweep worker for the autorfm-coord at this URL instead of driving experiments")
+		report  = flag.String("report", "", "write the experiment tables to this file (deterministic bytes; compare against autorfm-coord -report)")
 
 		chaos     = flag.Float64("chaos", 0, "chaos probability: each job independently panics with this probability (engine stress test)")
 		faults    = flag.String("faults", "", "fault injector plugin specs, e.g. act-miss(p=0.01),drop-mitigation(p=0.1); composes with the -fault-* flags")
@@ -302,6 +306,41 @@ func run() int {
 	}
 	sc.Pool = pool
 
+	// Worker mode: instead of driving experiments, lease jobs from a
+	// coordinator until its sweep drains. The pool configured above is
+	// reused as-is, so -j, -timeout and -resume all apply — in particular
+	// -resume doubles as the worker's local spill: every simulated result
+	// is on disk before its upload is attempted, so losing the coordinator
+	// loses no work.
+	if *workURL != "" {
+		name, _ := os.Hostname()
+		if name == "" {
+			name = "worker"
+		}
+		var logw io.Writer
+		if !*quiet {
+			logw = os.Stderr
+		}
+		stats, err := dist.RunWorker(ctx, dist.WorkerOptions{
+			URL:  *workURL,
+			Name: fmt.Sprintf("%s-%d", name, os.Getpid()),
+			Pool: pool,
+			Log:  logw,
+		})
+		fmt.Fprintf(os.Stderr, "worker: %d jobs completed (%d stolen), %d request retries\n",
+			stats.Completed, stats.Stolen, stats.Retries)
+		switch {
+		case err == nil:
+			return 0
+		case ctx.Err() != nil:
+			fmt.Fprintln(os.Stderr, "interrupted; completed jobs are in the checkpoint (use -resume to continue)")
+			return 130
+		default:
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
 	var todo []autorfm.Experiment
 	if *expID == "all" {
 		todo = autorfm.Experiments()
@@ -312,6 +351,17 @@ func run() int {
 			return 1
 		}
 		todo = []autorfm.Experiment{e}
+	}
+
+	var rep *os.File
+	if *report != "" {
+		var err error
+		rep, err = os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer rep.Close()
 	}
 
 	// Emit everything that computes; fail only at the end. A cancelled run
@@ -338,7 +388,19 @@ func run() int {
 		benchRows = append(benchRows, benchDelta(e.ID, time.Since(start), pre, readBenchCounters(pool)))
 		fmt.Println(res)
 		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if rep != nil {
+			// The report file gets only the deterministic table bytes — no
+			// timing lines — so a local and a distributed run of the same
+			// sweep produce byte-identical files.
+			fmt.Fprintf(rep, "%s\n", res)
+		}
 		failed += len(res.Failures)
+	}
+	if rep != nil {
+		if err := rep.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			failed++
+		}
 	}
 	if msink != nil {
 		if err := msink.Err(); err != nil {

@@ -1,0 +1,28 @@
+// Command autorfm-coord runs a sweep distributed across worker processes.
+//
+// It is autorfm-bench's experiment driver with the local worker pool
+// replaced by the lease-protocol coordinator of internal/dist: the
+// coordinator owns the sweep's job list, serves JSON-over-HTTP leases on
+// -addr, and blocks each experiment until workers have produced every
+// result. Workers are plain autorfm-bench processes pointed at the
+// coordinator:
+//
+//	autorfm-coord -exp all -addr :9190 -store results.jsonl
+//	autorfm-bench -worker http://host:9190      # on each machine
+//
+// Completed results are persisted to the content-addressed store (-store)
+// as they land, so killing and restarting the coordinator loses no work:
+// the next invocation serves finished jobs from the store and re-leases
+// only the rest. Crashed workers are handled by lease expiry (their jobs
+// requeue after -lease-ttl without a heartbeat), stragglers by work
+// stealing near sweep end. Results are deterministic per configuration, so
+// none of this changes the output: the tables are byte-identical to a
+// single-machine `autorfm-bench -exp all` run, and -report writes them to
+// a file for exactly that comparison.
+//
+// Live gauges (workers, leases, requeues, steals, ...) are served on the
+// same address at /status (plain JSON) and /debug/vars (expvar
+// "autorfm.coord"); -linger keeps serving them for a grace period after
+// the sweep completes. See docs/DISTRIBUTED.md for the protocol reference
+// and failure matrix.
+package main

@@ -9,6 +9,7 @@
 //	autorfm-sim -record trace.arfm -workload lbm   # freeze a trace to disk
 //	autorfm-sim -replay trace.arfm -mech autorfm   # drive the sim with it
 //	autorfm-sim -tracker "mithril(entries=2048)" -faults "act-miss(p=0.01)"
+//	autorfm-sim -workload bwaves -store results.jsonl  # shared memo store
 //	autorfm-sim -list
 //	autorfm-sim -list-plugins
 package main

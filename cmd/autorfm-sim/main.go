@@ -12,6 +12,7 @@ import (
 
 	"autorfm"
 	"autorfm/internal/cpu"
+	"autorfm/internal/dist"
 	"autorfm/internal/dram"
 	"autorfm/internal/fault"
 	"autorfm/internal/mitigation"
@@ -44,6 +45,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel simulation workers (the test and baseline runs overlap)")
 		noBase  = flag.Bool("nobaseline", false, "skip the baseline run (no slowdown reported)")
+		storeP  = flag.String("store", "", "content-addressed result store file: serve previously completed configurations from it and add new ones (shared with autorfm-coord -store)")
 		list    = flag.Bool("list", false, "list workloads and exit")
 		listPl  = flag.Bool("list-plugins", false, "list registered trackers, policies and fault injectors and exit")
 		faults  = flag.String("faults", "", "fault injector plugin specs, e.g. act-miss(p=0.01),drop-mitigation(p=0.1)")
@@ -181,6 +183,30 @@ func main() {
 	// are independent jobs; run both through the worker pool so they
 	// overlap on multicore machines.
 	pool := runner.New(*jobs)
+	if *storeP != "" {
+		// The store is the distributed fabric's result file reused as a
+		// single-machine memo table: known configurations come back without
+		// simulating, new ones are appended (deduped) for every later run,
+		// sweep, or coordinator sharing the file.
+		store, err := dist.Open(*storeP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		if f, err := os.Open(*storeP); err == nil {
+			n, lerr := pool.LoadCheckpoint(f)
+			f.Close()
+			if lerr != nil {
+				fmt.Fprintln(os.Stderr, lerr)
+				os.Exit(1)
+			}
+			if n > 0 {
+				fmt.Fprintf(os.Stderr, "store: %d completed results loaded from %s\n", n, *storeP)
+			}
+		}
+		pool.WriteCheckpoints(store.CheckpointWriter())
+	}
 	todo := []sim.Config{scfg}
 	wantBase := !*noBase && mode != autorfm.None
 	if wantBase {

@@ -1,0 +1,483 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"autorfm/internal/sim"
+	"autorfm/internal/telemetry"
+)
+
+// jobState is one job's position in its lifecycle.
+type jobState int
+
+const (
+	jobPending jobState = iota // queued, waiting for a lease
+	jobLeased                  // at least one live lease out
+	jobDone                    // result or deterministic error landed
+)
+
+// job is one distinct simulation the sweep needs, identified by its
+// canonical config key. Experiments may reference the same job from many
+// batches (every experiment resubmits its baselines); the coordinator keeps
+// exactly one.
+type job struct {
+	key    string
+	cfg    sim.Config
+	order  int // submission order, for deterministic queue behavior
+	state  jobState
+	leases int // live leases (>1 while a straggler is being stolen)
+	res    sim.Result
+	err    error         // deterministic job failure, verbatim from the worker
+	done   chan struct{} // closed when state becomes jobDone
+}
+
+// lease is one outstanding grant of a job to a worker.
+type lease struct {
+	id      uint64
+	key     string
+	worker  string
+	expires time.Time
+}
+
+// Coordinator owns a sweep's job list and serves the lease protocol. It
+// implements exp.Runner, so experiment definitions drive it exactly like a
+// local runner.Pool: RunAll submits a batch of configs and blocks until
+// workers (or the store) have produced every result.
+//
+// Set the exported knobs before serving traffic. A Coordinator is safe for
+// concurrent use.
+type Coordinator struct {
+	// LeaseTTL is how long a lease lives without a heartbeat before the
+	// job is requeued (default 10s). Heartbeats renew for another TTL.
+	LeaseTTL time.Duration
+	// RetryWait is the poll interval suggested to idle workers (default 300ms).
+	RetryWait time.Duration
+	// MaxLeasesPerJob bounds duplicate leases on one straggling job,
+	// including the original (default 2: one steal). Stealing only happens
+	// when the pending queue is empty, i.e. near sweep end.
+	MaxLeasesPerJob int
+	// Status, when non-nil, receives a telemetry.CoordSnapshot after every
+	// state change (publish it with telemetry.PublishCoord to serve the
+	// "autorfm.coord" expvar).
+	Status *telemetry.CoordStatus
+
+	store *Store
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	queue     []string // pending job keys, FIFO
+	leases    map[uint64]*lease
+	nextLease uint64
+	workers   map[string]time.Time // worker name -> last seen
+	drained   bool
+
+	// counters, guarded by mu
+	storeHits  int
+	requeues   int64
+	steals     int64
+	uploads    int64
+	duplicates int64
+
+	now func() time.Time // test hook; time.Now outside tests
+}
+
+// NewCoordinator returns a coordinator persisting completed results to
+// store (use NewMemStore for a throwaway sweep).
+func NewCoordinator(store *Store) *Coordinator {
+	return &Coordinator{
+		LeaseTTL:        10 * time.Second,
+		RetryWait:       300 * time.Millisecond,
+		MaxLeasesPerJob: 2,
+		store:           store,
+		jobs:            make(map[string]*job),
+		leases:          make(map[uint64]*lease),
+		workers:         make(map[string]time.Time),
+		now:             time.Now,
+	}
+}
+
+// Store returns the coordinator's result store.
+func (c *Coordinator) Store() *Store { return c.store }
+
+// RunAll implements exp.Runner: it submits the configs as jobs and blocks
+// until every one has a result (from the store, a worker upload, or a
+// deterministic worker-reported error), returning them index-aligned like
+// runner.Pool.RunAll. Jobs already completed — in the store from an earlier
+// sweep or coordinator incarnation, or by a previous batch — cost nothing.
+// A fired ctx unblocks immediately with ctx's error for every unfinished
+// job; the jobs themselves stay queued for a later resubmission.
+func (c *Coordinator) RunAll(ctx context.Context, cfgs []sim.Config) ([]sim.Result, []error) {
+	results := make([]sim.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+
+	// Enqueue the whole batch first (in input order, so workers see jobs
+	// roughly in paper order), then wait.
+	js := make([]*job, len(cfgs))
+	c.mu.Lock()
+	for i, cfg := range cfgs {
+		key := cfg.Key()
+		if key == "" {
+			errs[i] = errors.New("dist: config is not memoizable (caller-supplied stream/tracker/policy); run it locally")
+			continue
+		}
+		j, ok := c.jobs[key]
+		if !ok {
+			j = &job{key: key, cfg: cfg, order: len(c.jobs), done: make(chan struct{})}
+			if res, hit := c.store.Get(key); hit {
+				j.state = jobDone
+				j.res = res
+				c.storeHits++
+				close(j.done)
+			} else {
+				c.queue = append(c.queue, key)
+			}
+			c.jobs[key] = j
+		}
+		js[i] = j
+	}
+	c.publishLocked()
+	c.mu.Unlock()
+
+	for i, j := range js {
+		if j == nil {
+			continue // keyless, already failed
+		}
+		select {
+		case <-j.done:
+			c.mu.Lock()
+			results[i], errs[i] = j.res, j.err
+			c.mu.Unlock()
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+		}
+	}
+	return results, errs
+}
+
+// Lease grants the calling worker one job, or tells it to wait or exit.
+// Expired leases are collected (and their jobs requeued) on every call, so
+// the fabric needs no background reaper goroutine.
+func (c *Coordinator) Lease(worker string) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.workers[worker] = now
+	c.expireLocked(now)
+
+	// Pending work first. Jobs can complete while queued (a stolen
+	// duplicate or a leaseless upload landed): skip those.
+	for len(c.queue) > 0 {
+		key := c.queue[0]
+		c.queue = c.queue[1:]
+		j := c.jobs[key]
+		if j.state == jobDone {
+			continue
+		}
+		return c.grantLocked(j, worker, now, false)
+	}
+
+	// Queue empty: steal from the straggler whose earliest lease is oldest,
+	// unless this worker already holds one of its leases.
+	if j := c.stealCandidateLocked(worker); j != nil {
+		c.steals++
+		return c.grantLocked(j, worker, now, true)
+	}
+
+	if c.drained && c.allDoneLocked() {
+		// The worker will exit on StatusDone: drop it from the fleet gauge
+		// now, so "no leases and no workers" means everyone has been
+		// dismissed and the coordinator itself may shut down.
+		delete(c.workers, worker)
+		c.publishLocked()
+		return LeaseResponse{Status: StatusDone}
+	}
+	c.publishLocked()
+	return LeaseResponse{Status: StatusWait, RetryMS: c.RetryWait.Milliseconds()}
+}
+
+// grantLocked issues a lease on j to worker.
+func (c *Coordinator) grantLocked(j *job, worker string, now time.Time, stolen bool) LeaseResponse {
+	c.nextLease++
+	l := &lease{id: c.nextLease, key: j.key, worker: worker, expires: now.Add(c.LeaseTTL)}
+	c.leases[l.id] = l
+	j.state = jobLeased
+	j.leases++
+	c.publishLocked()
+	return LeaseResponse{
+		Status:  StatusJob,
+		Key:     j.key,
+		Config:  j.cfg,
+		LeaseID: l.id,
+		TTLMS:   c.LeaseTTL.Milliseconds(),
+		Stolen:  stolen,
+	}
+}
+
+// stealCandidateLocked picks the leased, unfinished job with the oldest
+// earliest-expiring lease that still has steal headroom and no lease held
+// by the requesting worker. Returns nil when there is nothing to steal.
+func (c *Coordinator) stealCandidateLocked(worker string) *job {
+	oldest := make(map[string]time.Time) // key -> earliest lease expiry
+	mine := make(map[string]bool)        // keys this worker already leases
+	for _, l := range c.leases {
+		if t, ok := oldest[l.key]; !ok || l.expires.Before(t) {
+			oldest[l.key] = l.expires
+		}
+		if l.worker == worker {
+			mine[l.key] = true
+		}
+	}
+	var best *job
+	var bestT time.Time
+	for key, t := range oldest {
+		j := c.jobs[key]
+		if j.state != jobLeased || j.leases >= c.MaxLeasesPerJob || mine[key] {
+			continue
+		}
+		if best == nil || t.Before(bestT) || (t.Equal(bestT) && j.order < best.order) {
+			best, bestT = j, t
+		}
+	}
+	return best
+}
+
+// Heartbeat renews a lease, reporting whether it is still live.
+func (c *Coordinator) Heartbeat(worker string, leaseID uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.workers[worker] = now
+	c.expireLocked(now)
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return false
+	}
+	l.expires = now.Add(c.LeaseTTL)
+	return true
+}
+
+// Complete records an uploaded result (or deterministic job error). It is
+// deliberately lease-agnostic: uploads with expired, stolen-away, or
+// unknown leases — or from before a coordinator restart — are all accepted,
+// because a result is validated by its content address, not its lease.
+// First result wins; later duplicates are acknowledged and dropped.
+func (c *Coordinator) Complete(worker string, leaseID uint64, key string, res sim.Result, errStr string) (ResultResponse, error) {
+	if key == "" {
+		return ResultResponse{}, errors.New("dist: result upload without a key")
+	}
+	if errStr == "" && res.Config.Key() != key {
+		return ResultResponse{}, fmt.Errorf("dist: result content does not match its key %q", key)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.workers[worker] = now
+	if l, ok := c.leases[leaseID]; ok && l.key == key {
+		c.releaseLocked(l)
+	}
+
+	j, ok := c.jobs[key]
+	if ok && j.state == jobDone {
+		c.duplicates++
+		c.publishLocked()
+		return ResultResponse{Accepted: true, Duplicate: true}, nil
+	}
+
+	// Persist successes before exposing them: a coordinator crash between
+	// the two must lose the in-memory job, never the durable record.
+	if errStr == "" {
+		if _, err := c.store.Put(key, res); err != nil {
+			c.publishLocked()
+			return ResultResponse{}, err
+		}
+	}
+	if !ok {
+		// A worker from a previous coordinator incarnation finished a job
+		// this incarnation has not (re)submitted yet. The store retains it;
+		// when the job is submitted, it will be a store hit.
+		c.uploads++
+		c.publishLocked()
+		return ResultResponse{Accepted: true}, nil
+	}
+	if errStr != "" {
+		j.err = errors.New(errStr)
+	} else {
+		j.res = res
+	}
+	j.state = jobDone
+	c.uploads++
+	// Retire every other live lease on this job (work-steal losers).
+	for id, l := range c.leases {
+		if l.key == key {
+			delete(c.leases, id)
+			j.leases--
+		}
+	}
+	close(j.done)
+	c.publishLocked()
+	return ResultResponse{Accepted: true}, nil
+}
+
+// releaseLocked retires one lease without touching its job's state.
+func (c *Coordinator) releaseLocked(l *lease) {
+	if _, ok := c.leases[l.id]; !ok {
+		return
+	}
+	delete(c.leases, l.id)
+	if j, ok := c.jobs[l.key]; ok && j.leases > 0 {
+		j.leases--
+	}
+}
+
+// expireLocked requeues every job whose leases have all expired — the
+// crashed-worker path. A job with one live lease left (its thief) stays
+// leased.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		delete(c.leases, id)
+		j := c.jobs[l.key]
+		if j == nil || j.state != jobLeased {
+			continue
+		}
+		j.leases--
+		if j.leases <= 0 {
+			j.leases = 0
+			j.state = jobPending
+			c.queue = append(c.queue, j.key)
+			c.requeues++
+		}
+	}
+}
+
+// Drain marks the sweep over: workers asking for leases are told to exit
+// once every job is done.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	c.drained = true
+	c.publishLocked()
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) allDoneLocked() bool {
+	for _, j := range c.jobs {
+		if j.state != jobDone {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns the coordinator's current gauges. Expired leases are
+// collected first, so the lease gauge never counts workers that are gone.
+func (c *Coordinator) Snapshot() telemetry.CoordSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.now())
+	return c.snapshotLocked()
+}
+
+func (c *Coordinator) snapshotLocked() telemetry.CoordSnapshot {
+	live := 0
+	horizon := c.now().Add(-3 * c.LeaseTTL)
+	for _, seen := range c.workers {
+		if seen.After(horizon) {
+			live++
+		}
+	}
+	done := 0
+	for _, j := range c.jobs {
+		if j.state == jobDone {
+			done++
+		}
+	}
+	return telemetry.CoordSnapshot{
+		Workers:    live,
+		Leases:     len(c.leases),
+		JobsTotal:  len(c.jobs),
+		JobsDone:   done,
+		StoreHits:  c.storeHits,
+		Requeues:   c.requeues,
+		Steals:     c.steals,
+		Uploads:    c.uploads,
+		Duplicates: c.duplicates,
+		Drained:    c.drained,
+	}
+}
+
+func (c *Coordinator) publishLocked() {
+	if c.Status != nil {
+		c.Status.Update(c.snapshotLocked())
+	}
+}
+
+// Handler returns the coordinator's HTTP API: the lease protocol plus
+// /status (a JSON snapshot) and /debug/vars (expvar, including the
+// "autorfm.coord" gauges once PublishCoord has run).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decode(w, r, &req, func() string { return req.Proto }) {
+			return
+		}
+		writeJSON(w, c.Lease(req.Worker))
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decode(w, r, &req, func() string { return req.Proto }) {
+			return
+		}
+		writeJSON(w, HeartbeatResponse{OK: c.Heartbeat(req.Worker, req.LeaseID)})
+	})
+	mux.HandleFunc("/result", func(w http.ResponseWriter, r *http.Request) {
+		var req ResultRequest
+		if !decode(w, r, &req, func() string { return req.Proto }) {
+			return
+		}
+		resp, err := c.Complete(req.Worker, req.LeaseID, req.Key, req.Result, req.Error)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// decode parses a POSTed JSON request and checks its protocol version,
+// writing the HTTP error itself when the request is unusable.
+func decode(w http.ResponseWriter, r *http.Request, dst interface{}, proto func() string) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(dst); err != nil {
+		http.Error(w, fmt.Sprintf("dist: bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	if p := proto(); p != ProtocolVersion {
+		http.Error(w, fmt.Sprintf("dist: protocol %q, coordinator speaks %q", p, ProtocolVersion), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	// Encoding errors here mean the client went away; it will retry.
+	_ = json.NewEncoder(w).Encode(v)
+}

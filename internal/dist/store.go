@@ -1,0 +1,239 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"autorfm/internal/sim"
+)
+
+// record is one store line. The shape is deliberately byte-compatible with
+// internal/runner's checkpoint records, so a store file is a valid -resume
+// checkpoint and vice versa: {"key":K,"result":R}, one JSON object per
+// line. The key is stored redundantly — it is recomputable from the config
+// inside the result — so loading can verify each line against the current
+// Key() schema and skip stale records instead of poisoning the memo table.
+type record struct {
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// Store is a content-addressed result store: a durable memo table mapping
+// canonical config keys (sim.Config.Key) to completed simulation results,
+// backed by an append-only JSON-lines file. It is the checkpoint format of
+// internal/runner generalized into shared infrastructure: one file serves
+// many sweeps, front ends, and coordinator restarts, because keys — not
+// sweep identity — address the results.
+//
+// Durability model: appends are a single Write of one fully formed line
+// (O_APPEND), so concurrent writers interleave at line granularity and a
+// crash mid-write tears at most the final line. Loading tolerates both:
+// unparsable lines are skipped, and a key appearing on several lines
+// resolves last-write-wins (results are deterministic per key, so any
+// intact line is equally correct). At runtime Put is first-write-wins: a
+// key already present is not rewritten, which both dedups work-steal
+// duplicate results and keeps restarted sweeps from bloating the file.
+//
+// A Store is safe for concurrent use by multiple goroutines.
+type Store struct {
+	mu   sync.Mutex
+	path string   // "" for memory-only stores
+	f    *os.File // nil for memory-only stores
+	idx  map[string]sim.Result
+}
+
+// Open opens (creating if absent) the store file at path and loads every
+// intact record into memory. The returned count of usable results is
+// available via Len.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: opening store: %w", err)
+	}
+	s := &Store{path: path, f: f, idx: make(map[string]sim.Result)}
+	if _, err := s.load(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewMemStore returns a store with no backing file — useful for tests and
+// for coordinators that deliberately keep no durable state.
+func NewMemStore() *Store {
+	return &Store{idx: make(map[string]sim.Result)}
+}
+
+// load merges every intact record from r into the index, last-write-wins,
+// returning how many records were usable. Malformed lines (typically one
+// record torn when a writing process died mid-append) and records whose
+// stored key does not match their config's recomputed Key() are skipped.
+// An error is returned only when reading from r itself fails.
+func (s *Store) load(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sc.Scan() {
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue
+		}
+		if rec.Key == "" || rec.Result.Config.Key() != rec.Key {
+			continue
+		}
+		s.idx[rec.Key] = rec.Result // last write wins
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("dist: reading store: %w", err)
+	}
+	return n, nil
+}
+
+// Merge loads records from r (any store or runner checkpoint stream) into
+// the store, appending records for previously unknown keys to the backing
+// file. It is how a worker's local spill file is folded back into the
+// shared store. Returns how many records were new.
+func (s *Store) Merge(r io.Reader) (int, error) {
+	tmp := NewMemStore()
+	if _, err := tmp.load(r); err != nil {
+		return 0, err
+	}
+	added := 0
+	for key, res := range tmp.idx {
+		ok, err := s.Put(key, res)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// CheckpointWriter returns an io.Writer that accepts the JSON-lines
+// checkpoint stream produced by runner.Pool.WriteCheckpoints and folds each
+// record into the store via Put. Unlike appending the stream to the file
+// directly, this dedups: keys the store already holds are not rewritten, so
+// a store file shared across many invocations does not grow with re-runs.
+// Partial writes are buffered until their line completes; malformed lines
+// are dropped (the same tolerance loading has).
+func (s *Store) CheckpointWriter() io.Writer {
+	return &checkpointWriter{s: s}
+}
+
+type checkpointWriter struct {
+	s   *Store
+	buf []byte
+}
+
+func (w *checkpointWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	for {
+		nl := bytes.IndexByte(w.buf, '\n')
+		if nl < 0 {
+			return len(p), nil
+		}
+		line := w.buf[:nl]
+		w.buf = w.buf[nl+1:]
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			continue
+		}
+		if _, err := w.s.Put(rec.Key, rec.Result); err != nil {
+			return len(p), err
+		}
+	}
+}
+
+// Get returns the stored result for key, if any.
+func (s *Store) Get(key string) (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.idx[key]
+	return res, ok
+}
+
+// Put stores the result under key if the key is not already present,
+// appending one record to the backing file. It reports whether the result
+// was newly added: false means an equal result was already stored
+// (first-write-wins — results are deterministic per key) and nothing was
+// written. An empty key is rejected: such configs are not content-
+// addressable.
+func (s *Store) Put(key string, res sim.Result) (bool, error) {
+	if key == "" {
+		return false, fmt.Errorf("dist: cannot store a result with an empty config key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.idx[key]; ok {
+		return false, nil
+	}
+	if s.f != nil {
+		// Marshal the whole line first so the append is a single Write of a
+		// fully formed record: concurrent writers interleave at line
+		// granularity, and a crash tears at most this one line.
+		buf, err := json.Marshal(record{Key: key, Result: res})
+		if err != nil {
+			return false, fmt.Errorf("dist: encoding result %q: %w", key, err)
+		}
+		if _, err := s.f.Write(append(buf, '\n')); err != nil {
+			return false, fmt.Errorf("dist: appending to store: %w", err)
+		}
+	}
+	s.idx[key] = res
+	return true, nil
+}
+
+// Len returns how many distinct results the store holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// Keys returns the stored config keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.idx))
+	for k := range s.idx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Path returns the backing file's path ("" for memory-only stores).
+func (s *Store) Path() string { return s.path }
+
+// Sync flushes the backing file to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Close releases the backing file. The in-memory index stays readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,317 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"autorfm/internal/runner"
+	"autorfm/internal/sim"
+	"autorfm/internal/workload"
+)
+
+func cfg(t testing.TB, wl string, mut func(*sim.Config)) sim.Config {
+	t.Helper()
+	p, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sim.Config{Workload: p, InstructionsPerCore: 30_000, Seed: 1}
+	if mut != nil {
+		mut(&c)
+	}
+	return c
+}
+
+// run simulates c directly, failing the test on error.
+func run(t testing.TB, c sim.Config) sim.Result {
+	t.Helper()
+	res, err := sim.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// line renders one store/checkpoint record as its JSON line.
+func line(t testing.TB, key string, res sim.Result) string {
+	t.Helper()
+	buf, err := json.Marshal(record{Key: key, Result: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf) + "\n"
+}
+
+// TestStoreRecovery: the table of damaged and contested store files the
+// loader must recover from — a torn trailing line (writer killed
+// mid-append), a key written twice (last write wins), records from two
+// interleaved concurrent writers, and a stale key from an incompatible
+// Key() schema.
+func TestStoreRecovery(t *testing.T) {
+	a := run(t, cfg(t, "bwaves", nil))
+	b := run(t, cfg(t, "mcf", nil))
+	aKey, bKey := a.Config.Key(), b.Config.Key()
+
+	// A same-key record with visibly different content, standing in for a
+	// record from an earlier (pre-crash) run.
+	aStale := a
+	aStale.Elapsed = a.Elapsed + 12345
+
+	cases := []struct {
+		name string
+		data string
+		want map[string]sim.Result
+	}{
+		{
+			name: "torn trailing line",
+			data: line(t, aKey, a) + line(t, bKey, b)[:20],
+			want: map[string]sim.Result{aKey: a},
+		},
+		{
+			name: "duplicated key, last write wins",
+			data: line(t, aKey, aStale) + line(t, bKey, b) + line(t, aKey, a),
+			want: map[string]sim.Result{aKey: a, bKey: b},
+		},
+		{
+			name: "interleaved records from two writers",
+			// Writer 1 appended a, writer 2 appended b, then both appended
+			// again — line-granular interleaving is the contract O_APPEND
+			// single-Write lines buy us.
+			data: line(t, aKey, a) + line(t, bKey, b) + line(t, bKey, b) + line(t, aKey, a),
+			want: map[string]sim.Result{aKey: a, bKey: b},
+		},
+		{
+			name: "stale key skipped",
+			// A record whose stored key does not match its config's
+			// recomputed Key() — e.g. written under an older key schema —
+			// must be skipped, not loaded under either key.
+			data: strings.Replace(line(t, aKey, a), `"key":"`, `"key":"old-schema `, 1) + line(t, bKey, b),
+			want: map[string]sim.Result{bKey: b},
+		},
+		{
+			name: "garbage line between records",
+			data: line(t, aKey, a) + "not json at all\n" + line(t, bKey, b),
+			want: map[string]sim.Result{aKey: a, bKey: b},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "store.jsonl")
+			if err := os.WriteFile(path, []byte(tc.data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if s.Len() != len(tc.want) {
+				t.Fatalf("loaded %d results, want %d (keys: %v)", s.Len(), len(tc.want), s.Keys())
+			}
+			for key, want := range tc.want {
+				got, ok := s.Get(key)
+				if !ok {
+					t.Fatalf("key %q missing after recovery", key)
+				}
+				if got.Elapsed != want.Elapsed {
+					t.Errorf("key %q: got elapsed %d, want %d", key, got.Elapsed, want.Elapsed)
+				}
+			}
+
+			// The same damaged stream must also be a usable runner checkpoint:
+			// store files and -resume files are one format.
+			pool := runner.New(1)
+			n, err := pool.LoadCheckpoint(strings.NewReader(tc.data))
+			if err != nil {
+				t.Fatalf("LoadCheckpoint on store bytes: %v", err)
+			}
+			if n != len(tc.want) {
+				t.Errorf("LoadCheckpoint recovered %d records, want %d", n, len(tc.want))
+			}
+		})
+	}
+}
+
+// TestStorePutFirstWriteWins: Put dedups by key — the second Put of a key
+// neither replaces the index entry nor appends a line.
+func TestStorePutFirstWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	a := run(t, cfg(t, "bwaves", nil))
+	key := a.Config.Key()
+	later := a
+	later.Elapsed++
+
+	if ok, err := s.Put(key, a); err != nil || !ok {
+		t.Fatalf("first Put: ok=%v err=%v", ok, err)
+	}
+	if ok, err := s.Put(key, later); err != nil || ok {
+		t.Fatalf("duplicate Put: ok=%v err=%v, want a silent no-op", ok, err)
+	}
+	if _, err := s.Put("", a); err == nil {
+		t.Fatal("Put with empty key succeeded; want rejection")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte("\n")); n != 1 {
+		t.Fatalf("store file has %d lines after duplicate Put, want 1", n)
+	}
+	got, _ := s.Get(key)
+	if got.Elapsed != a.Elapsed {
+		t.Errorf("duplicate Put replaced the stored result")
+	}
+}
+
+// TestStoreConcurrentWritersSharedFile: two Store handles on the same path
+// (two coordinator processes would be misuse, but worker spill merging and
+// tooling do this) interleave whole lines; reopening recovers every key.
+func TestStoreConcurrentWritersSharedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s1, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeds := make([]sim.Result, 8)
+	for i := range seeds {
+		seeds[i] = run(t, cfg(t, "bwaves", func(c *sim.Config) { c.Seed = uint64(i + 1) }))
+	}
+	var wg sync.WaitGroup
+	for i, res := range seeds {
+		wg.Add(1)
+		s := s1
+		if i%2 == 1 {
+			s = s2
+		}
+		go func(s *Store, res sim.Result) {
+			defer wg.Done()
+			if _, err := s.Put(res.Config.Key(), res); err != nil {
+				t.Error(err)
+			}
+		}(s, res)
+	}
+	wg.Wait()
+	s1.Close()
+	s2.Close()
+
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != len(seeds) {
+		t.Fatalf("recovered %d results from interleaved writers, want %d", reopened.Len(), len(seeds))
+	}
+	for _, res := range seeds {
+		got, ok := reopened.Get(res.Config.Key())
+		if !ok || got.Elapsed != res.Elapsed {
+			t.Errorf("seed %d: got ok=%v elapsed=%d, want %d", res.Config.Seed, ok, got.Elapsed, res.Elapsed)
+		}
+	}
+}
+
+// TestStoreMergeFromCheckpoint: a worker's runner checkpoint spill folds
+// into the store; known keys are skipped, new ones appended.
+func TestStoreMergeFromCheckpoint(t *testing.T) {
+	a := run(t, cfg(t, "bwaves", nil))
+	b := run(t, cfg(t, "mcf", nil))
+
+	// Produce a genuine runner checkpoint stream holding both results.
+	var spill bytes.Buffer
+	pool := runner.New(2)
+	pool.WriteCheckpoints(&spill)
+	if _, errs := pool.RunAll(context.Background(), []sim.Config{a.Config, b.Config}); runner.FirstError(errs) != nil {
+		t.Fatal(runner.FirstError(errs))
+	}
+
+	s := NewMemStore()
+	if _, err := s.Put(a.Config.Key(), a); err != nil {
+		t.Fatal(err)
+	}
+	added, err := s.Merge(bytes.NewReader(spill.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || s.Len() != 2 {
+		t.Fatalf("Merge added %d (len %d), want 1 new record (len 2)", added, s.Len())
+	}
+	if _, ok := s.Get(b.Config.Key()); !ok {
+		t.Error("merged checkpoint record missing from store")
+	}
+}
+
+// TestStoreCheckpointWriter: a pool checkpointing straight into a store
+// dedups against what the store already holds — the file gains exactly one
+// line per new key, however many times the sweep re-runs.
+func TestStoreCheckpointWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	a := cfg(t, "bwaves", nil)
+	b := cfg(t, "mcf", nil)
+	if _, err := s.Put(a.Key(), run(t, a)); err != nil {
+		t.Fatal(err)
+	}
+
+	pool := runner.New(2)
+	pool.WriteCheckpoints(s.CheckpointWriter())
+	if _, errs := pool.RunAll(context.Background(), []sim.Config{a, b, a}); runner.FirstError(errs) != nil {
+		t.Fatal(runner.FirstError(errs))
+	}
+	if pool.CheckpointFailures() != 0 {
+		t.Fatalf("%d checkpoint failures writing into the store", pool.CheckpointFailures())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store holds %d results, want 2", s.Len())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte("\n")); n != 2 {
+		t.Fatalf("store file has %d lines, want 2 (a's re-run must not append)", n)
+	}
+}
+
+// TestStoreKeysSorted is a small contract check for tooling that diffs
+// stores.
+func TestStoreKeysSorted(t *testing.T) {
+	s := NewMemStore()
+	for i := 5; i > 0; i-- {
+		res := run(t, cfg(t, "bwaves", func(c *sim.Config) { c.Seed = uint64(i) }))
+		if _, err := s.Put(res.Config.Key(), res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := s.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys() not sorted at %d: %q >= %q", i, keys[i-1], keys[i])
+		}
+	}
+	if len(keys) != 5 {
+		t.Fatalf("got %d keys, want 5", len(keys))
+	}
+}

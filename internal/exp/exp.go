@@ -33,8 +33,11 @@ type Scale struct {
 	// Pool, when set, is the runner the experiment submits its jobs to,
 	// overriding Jobs. Passing one pool to several experiments shares
 	// its result cache across them, so e.g. the per-workload baselines
-	// computed by Fig3 are reused by Table5, Fig8, Fig11, …
-	Pool *runner.Pool
+	// computed by Fig3 are reused by Table5, Fig8, Fig11, … Any Runner
+	// works: a local *runner.Pool, or a dist.Coordinator that farms the
+	// jobs out to worker processes — experiments cannot tell the
+	// difference because results are deterministic per config.
+	Pool Runner
 	// Context, when set, cancels in-flight simulations: a fired context
 	// aborts the experiment with the context's error. Nil means
 	// context.Background().
@@ -100,10 +103,21 @@ func (sc Scale) profiles() ([]workload.Profile, error) {
 	return out, nil
 }
 
+// Runner executes batches of simulation jobs and reports, index-aligned,
+// each job's result or error. It is the seam between the experiment
+// definitions and the execution substrate: internal/runner's Pool satisfies
+// it locally, internal/dist's Coordinator satisfies it across machines.
+// Implementations must return deterministic results per config (the
+// contract sim.Config.Key encodes) so tables are byte-identical regardless
+// of where and how often jobs actually ran.
+type Runner interface {
+	RunAll(ctx context.Context, cfgs []sim.Config) ([]sim.Result, []error)
+}
+
 // pool returns the runner the experiment should submit jobs to: the shared
 // one if the caller provided it, otherwise a fresh pool with sc.Jobs
 // workers.
-func (sc Scale) pool() *runner.Pool {
+func (sc Scale) pool() Runner {
 	if sc.Pool != nil {
 		return sc.Pool
 	}
@@ -219,7 +233,7 @@ type jobSet struct {
 // an error only when the context itself fired — per-job failures (panics,
 // timeouts, rejected configs) come back inside the jobSet for the caller
 // to render.
-func submit(pool *runner.Pool, sc Scale, jobs []sim.Config) (jobSet, error) {
+func submit(pool Runner, sc Scale, jobs []sim.Config) (jobSet, error) {
 	res, errs := pool.RunAll(sc.ctx(), jobs)
 	if err := sc.ctx().Err(); err != nil {
 		return jobSet{}, fmt.Errorf("exp: cancelled: %w", err)
@@ -320,7 +334,7 @@ func cell(v float64, ok bool) interface{} {
 // (NaN where either job failed), test results in profile order, and the
 // failure footnotes. The pool's cache deduplicates the baselines across
 // calls.
-func slowdowns(pool *runner.Pool, sc Scale, profiles []workload.Profile, mut func(*sim.Config)) ([]float64, []sim.Result, []string, error) {
+func slowdowns(pool Runner, sc Scale, profiles []workload.Profile, mut func(*sim.Config)) ([]float64, []sim.Result, []string, error) {
 	jobs := make([]sim.Config, 0, 2*len(profiles))
 	for _, p := range profiles {
 		jobs = append(jobs, sc.simCfg(p), sc.simCfg(p, mut))

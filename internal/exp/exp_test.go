@@ -3,12 +3,17 @@ package exp
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
+	"autorfm/internal/dram"
 	"autorfm/internal/fault"
 	"autorfm/internal/runner"
+	"autorfm/internal/sim"
+	"autorfm/internal/workload"
 )
 
 // tinyScale keeps the per-test cost low: a cross-suite subset of workloads
@@ -397,9 +402,10 @@ func TestResumeByteIdentical(t *testing.T) {
 	defer cancel()
 	var ckpt bytes.Buffer
 	interrupted := microScale()
-	interrupted.Pool = runner.New(2)
-	interrupted.Pool.WriteCheckpoints(&ckpt)
-	interrupted.Pool.OnProgress = func(p runner.Progress) {
+	ipool := runner.New(2)
+	interrupted.Pool = ipool
+	ipool.WriteCheckpoints(&ckpt)
+	ipool.OnProgress = func(p runner.Progress) {
 		if p.Done >= 3 {
 			cancel()
 		}
@@ -414,8 +420,9 @@ func TestResumeByteIdentical(t *testing.T) {
 
 	// Resumed run: fresh pool preloaded from the checkpoint.
 	resumed := microScale()
-	resumed.Pool = runner.New(2)
-	n, err := resumed.Pool.LoadCheckpoint(bytes.NewReader(ckpt.Bytes()))
+	rpool := runner.New(2)
+	resumed.Pool = rpool
+	n, err := rpool.LoadCheckpoint(bytes.NewReader(ckpt.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,8 +434,68 @@ func TestResumeByteIdentical(t *testing.T) {
 		t.Fatalf("resumed output differs from uninterrupted run:\n--- golden ---\n%s--- resumed ---\n%s",
 			golden, r)
 	}
-	if hits, _ := resumed.Pool.CacheStats(); hits < n {
+	if hits, _ := rpool.CacheStats(); hits < n {
 		t.Fatalf("resumed run served %d cache hits, want at least the %d loaded", hits, n)
+	}
+}
+
+// TestFailureFootnoteRendering: the ERR footnotes distinguish failure
+// causes — a typed per-job timeout renders as "timeout after Xs", a
+// recovered panic keeps its "job panicked:" prefix, and any other error
+// falls through verbatim. Table-driven over jobSet.failures, the single
+// place every experiment's footnotes are produced.
+func TestFailureFootnoteRendering(t *testing.T) {
+	prof, err := workload.ByName("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := sim.Config{Workload: prof, Mode: dram.ModeAutoRFM, TH: 4, Tracker: "mint"}
+	label := jobLabel(job)
+	cases := []struct {
+		name string
+		err  error
+		want string // expected footnote ("" = no footnote)
+	}{
+		{name: "success", err: nil, want: ""},
+		{
+			name: "job timeout",
+			err:  &runner.TimeoutError{Key: job.Key(), Limit: 30 * time.Second},
+			want: label + ": timeout after 30s",
+		},
+		{
+			name: "sub-second timeout",
+			err:  &runner.TimeoutError{Limit: 1500 * time.Millisecond},
+			want: label + ": timeout after 1.5s",
+		},
+		{
+			name: "panic",
+			err:  &runner.PanicError{Key: job.Key(), Value: "boom"},
+			want: label + ": job panicked: boom",
+		},
+		{
+			name: "generic error",
+			err:  errors.New("sim: unknown mechanism 42"),
+			want: label + ": sim: unknown mechanism 42",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			js := jobSet{
+				jobs: []sim.Config{job},
+				res:  make([]sim.Result, 1),
+				errs: []error{tc.err},
+			}
+			got := js.failures()
+			if tc.want == "" {
+				if len(got) != 0 {
+					t.Fatalf("failures() = %v, want none", got)
+				}
+				return
+			}
+			if len(got) != 1 || got[0] != tc.want {
+				t.Fatalf("failures() = %v, want [%q]", got, tc.want)
+			}
+		})
 	}
 }
 
@@ -437,11 +504,12 @@ func TestResumeByteIdentical(t *testing.T) {
 // baselines were all already run by Fig3).
 func TestSharedPoolCachesAcrossExperiments(t *testing.T) {
 	sc := microScale()
-	sc.Pool = runner.New(2)
+	pool := runner.New(2)
+	sc.Pool = pool
 	run(t, Fig3, sc)
-	_, missesBefore := sc.Pool.CacheStats()
+	_, missesBefore := pool.CacheStats()
 	run(t, Table5, sc)
-	hits, misses := sc.Pool.CacheStats()
+	hits, misses := pool.CacheStats()
 	if misses != missesBefore {
 		t.Errorf("Table5 re-simulated %d cached baselines", misses-missesBefore)
 	}

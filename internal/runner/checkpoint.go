@@ -3,11 +3,21 @@ package runner
 import (
 	"bufio"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
+	"os"
 
 	"autorfm/internal/sim"
 )
+
+// ckptFailures is the process-wide count of checkpoint lines that failed to
+// write (disk full, closed file, ...), across every pool. It is exported as
+// the expvar "autorfm.checkpoint_write_failures" so a sweep's introspection
+// endpoint (-http) shows silently degraded checkpointing before a resume
+// discovers the hole. Per-pool counts are available from
+// Pool.CheckpointFailures.
+var ckptFailures = expvar.NewInt("autorfm.checkpoint_write_failures")
 
 // checkpointRecord is one checkpoint line: a completed simulation keyed by
 // its config's memoization key. The key is stored redundantly — it is
@@ -23,12 +33,24 @@ type checkpointRecord struct {
 // to w as one JSON object per line, as jobs complete. Cache hits and failed
 // jobs are not written (hits are already on file or in memory; errors are
 // cheap to reproduce and must re-run on resume). Writes are serialized and
-// best-effort: a failing sink degrades checkpointing, never the sweep.
+// best-effort: a failing sink degrades checkpointing, never the sweep —
+// but the degradation is not silent: the first failure warns on stderr,
+// every failure increments Pool.CheckpointFailures and the process-wide
+// expvar "autorfm.checkpoint_write_failures".
 // Pass nil to disable. Safe to call while jobs are running.
 func (p *Pool) WriteCheckpoints(w io.Writer) {
 	p.cmu.Lock()
 	p.cw = w
 	p.cmu.Unlock()
+}
+
+// CheckpointFailures returns how many checkpoint lines this pool failed to
+// write. A non-zero count means a later -resume will re-simulate the lost
+// jobs — correct, just slower.
+func (p *Pool) CheckpointFailures() uint64 {
+	p.cmu.Lock()
+	defer p.cmu.Unlock()
+	return p.cfails
 }
 
 func (p *Pool) checkpoint(key string, res sim.Result) {
@@ -42,7 +64,14 @@ func (p *Pool) checkpoint(key string, res sim.Result) {
 	}
 	// Encode eagerly so a line is either fully formed or not written; the
 	// encoder appends the trailing newline that delimits records.
-	_ = json.NewEncoder(p.cw).Encode(checkpointRecord{Key: key, Result: res})
+	if err := json.NewEncoder(p.cw).Encode(checkpointRecord{Key: key, Result: res}); err != nil {
+		p.cfails++
+		ckptFailures.Add(1)
+		p.cwarn.Do(func() {
+			fmt.Fprintf(os.Stderr,
+				"runner: checkpoint write failed (sweep continues; further failures are counted, not logged): %v\n", err)
+		})
+	}
 }
 
 // LoadCheckpoint preloads the pool's cache from a JSON-lines stream

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -23,6 +24,24 @@ type PanicError struct {
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("job panicked: %v", e.Value)
 }
+
+// TimeoutError reports a job cut short by the pool's per-job wall-clock
+// limit (Pool.JobTimeout), as opposed to a caller-cancelled context or a
+// panic. It unwraps to context.DeadlineExceeded so errors.Is-based callers
+// keep working, while renderers (internal/exp footnotes) can say "timeout
+// after Xs" instead of the generic cause. Like any deterministic job
+// property it is memoized; raising the timeout requires a fresh pool.
+type TimeoutError struct {
+	Key   string        // sim.Config.Key() of the expired job ("" if uncacheable)
+	Limit time.Duration // the JobTimeout that expired
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("timeout after %v", e.Limit)
+}
+
+// Unwrap lets errors.Is(err, context.DeadlineExceeded) see through the type.
+func (e *TimeoutError) Unwrap() error { return context.DeadlineExceeded }
 
 // FirstError returns the first non-nil error in input order, or nil. It is
 // the standard reduction over RunAll's per-job error slice for callers that
@@ -91,8 +110,10 @@ type Pool struct {
 	mu    sync.Mutex // guards cache
 	cache map[string]*entry
 
-	cmu sync.Mutex // guards cw
-	cw  io.Writer  // checkpoint sink, nil when disabled
+	cmu    sync.Mutex // guards cw and cfails
+	cw     io.Writer  // checkpoint sink, nil when disabled
+	cfails uint64     // checkpoint writes that returned an error
+	cwarn  sync.Once  // first failure warns on stderr; the rest only count
 
 	pmu       sync.Mutex // guards progress counters and OnProgress calls
 	done      int
@@ -199,9 +220,18 @@ func (p *Pool) simulate(ctx context.Context, cfg sim.Config, key string) (res si
 	defer func() { <-p.sem }()
 
 	if p.JobTimeout > 0 {
+		outer := ctx
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.JobTimeout)
 		defer cancel()
+		// Runs after the recover defer below (LIFO): when the inner deadline
+		// fired but the caller's context is still live, the expiry is the
+		// job's own timeout, not a cancellation — surface it typed.
+		defer func() {
+			if errors.Is(err, context.DeadlineExceeded) && outer.Err() == nil {
+				err = &TimeoutError{Key: key, Limit: p.JobTimeout}
+			}
+		}()
 	}
 	defer func() {
 		if v := recover(); v != nil {

@@ -192,18 +192,50 @@ func TestCancellation(t *testing.T) {
 	}
 }
 
-// TestJobTimeout: a job exceeding JobTimeout fails with DeadlineExceeded
-// while an untimed sibling completes.
+// TestJobTimeout: a job exceeding JobTimeout fails with a *TimeoutError
+// that still unwraps to DeadlineExceeded, carries the job's key and the
+// limit that expired, and renders as "timeout after X" — while an untimed
+// sibling completes.
 func TestJobTimeout(t *testing.T) {
 	p := New(2)
 	p.JobTimeout = time.Millisecond
 	slow := cfg(t, "bwaves", func(c *sim.Config) { c.InstructionsPerCore = 50_000_000 })
-	if _, err := p.Run(context.Background(), slow); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	_, err := p.Run(context.Background(), slow)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded via unwrap", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v (%T), want *TimeoutError", err, err)
+	}
+	if te.Key != slow.Key() || te.Limit != time.Millisecond {
+		t.Errorf("TimeoutError = %+v, want key %q limit 1ms", te, slow.Key())
+	}
+	if got := te.Error(); got != "timeout after 1ms" {
+		t.Errorf("Error() = %q, want %q", got, "timeout after 1ms")
 	}
 	p2 := New(2) // fresh pool without the timeout
 	if _, err := p2.Run(context.Background(), cfg(t, "bwaves", nil)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCallerDeadlineIsNotJobTimeout: when the caller's own context expires,
+// the error stays a plain DeadlineExceeded (and is evicted, like any
+// cancellation) rather than being misreported as the job's timeout.
+func TestCallerDeadlineIsNotJobTimeout(t *testing.T) {
+	p := New(1)
+	p.JobTimeout = time.Hour
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	slow := cfg(t, "bwaves", func(c *sim.Config) { c.InstructionsPerCore = 50_000_000 })
+	_, err := p.Run(ctx, slow)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	var te *TimeoutError
+	if errors.As(err, &te) {
+		t.Fatalf("caller deadline surfaced as job *TimeoutError: %v", err)
 	}
 }
 
@@ -341,6 +373,54 @@ func TestCheckpointSkipsDamage(t *testing.T) {
 	}
 	if hits, _ := p2.CacheStats(); hits != 1 {
 		t.Fatal("intact record was not served from cache")
+	}
+}
+
+// failingWriter fails every write after the first n bytes-worth of calls.
+type failingWriter struct {
+	okWrites int
+	writes   int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.okWrites {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+// TestCheckpointWriteFailureCounted: a failing checkpoint sink no longer
+// loses errors silently — every failed line increments the pool's counter
+// (and the process-wide expvar) while the sweep itself keeps succeeding.
+func TestCheckpointWriteFailureCounted(t *testing.T) {
+	ctx := context.Background()
+	p := New(2)
+	w := &failingWriter{okWrites: 1}
+	p.WriteCheckpoints(w)
+	jobs := []sim.Config{
+		cfg(t, "bwaves", nil),
+		cfg(t, "mcf", nil),
+		cfg(t, "pagerank", nil),
+	}
+	before := ckptFailures.Value()
+	if _, errs := p.RunAll(ctx, jobs); FirstError(errs) != nil {
+		t.Fatalf("sweep failed on a bad checkpoint sink: %v", FirstError(errs))
+	}
+	if got := p.CheckpointFailures(); got != 2 {
+		t.Fatalf("CheckpointFailures = %d, want 2 (one write succeeded)", got)
+	}
+	if delta := ckptFailures.Value() - before; delta != 2 {
+		t.Fatalf("expvar autorfm.checkpoint_write_failures grew by %d, want 2", delta)
+	}
+	// A healthy pool reports zero.
+	p2 := New(1)
+	p2.WriteCheckpoints(&bytes.Buffer{})
+	if _, err := p2.Run(ctx, cfg(t, "bwaves", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.CheckpointFailures(); got != 0 {
+		t.Fatalf("healthy pool CheckpointFailures = %d, want 0", got)
 	}
 }
 

@@ -1,0 +1,91 @@
+package telemetry
+
+// Live coordinator introspection: the distributed sweep fabric's analog of
+// the "autorfm.sweep" expvar. The coordinator (internal/dist) publishes a
+// CoordSnapshot after every state change, so `curl host:port/debug/vars`
+// answers "how many workers are alive, how many leases are out, and how
+// often did the fabric have to requeue or steal work" while a sweep runs.
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// CoordSnapshot is one point-in-time view of a sweep coordinator, as
+// rendered under /debug/vars as "autorfm.coord".
+type CoordSnapshot struct {
+	// Workers is the number of distinct workers seen recently (within a
+	// few lease TTLs) — the fabric's live fleet size.
+	Workers int `json:"workers"`
+	// Leases is the number of currently outstanding job leases.
+	Leases int `json:"leases"`
+	// JobsTotal and JobsDone count distinct jobs submitted and completed;
+	// StoreHits is how many of the done jobs were served from the
+	// content-addressed result store without touching a worker.
+	JobsTotal int `json:"jobs_total"`
+	JobsDone  int `json:"jobs_done"`
+	StoreHits int `json:"store_hits"`
+	// Requeues counts leases that expired (crashed or partitioned workers)
+	// and were put back on the queue.
+	Requeues int64 `json:"requeues"`
+	// Steals counts duplicate leases issued for straggling jobs near sweep
+	// end (first uploaded result wins).
+	Steals int64 `json:"steals"`
+	// Uploads and Duplicates count accepted result uploads and uploads
+	// that lost a first-result-wins race (or arrived after a requeue).
+	Uploads    int64 `json:"uploads"`
+	Duplicates int64 `json:"duplicates"`
+	// Drained reports that the sweep is over: workers asking for jobs are
+	// being told to exit.
+	Drained bool `json:"drained"`
+}
+
+// CoordStatus holds the latest CoordSnapshot; the coordinator updates it,
+// the expvar handler reads it. Safe for concurrent use.
+type CoordStatus struct {
+	cur atomic.Pointer[CoordSnapshot]
+}
+
+// NewCoordStatus returns a status holding an empty snapshot.
+func NewCoordStatus() *CoordStatus {
+	s := &CoordStatus{}
+	s.cur.Store(&CoordSnapshot{})
+	return s
+}
+
+// Update publishes a new snapshot.
+func (s *CoordStatus) Update(snap CoordSnapshot) { s.cur.Store(&snap) }
+
+// Snapshot returns the latest snapshot (never nil).
+func (s *CoordStatus) Snapshot() CoordSnapshot { return *s.cur.Load() }
+
+// String renders the snapshot as JSON; CoordStatus implements expvar.Var.
+func (s *CoordStatus) String() string {
+	buf, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(buf)
+}
+
+var (
+	coordOnce sync.Once
+	coordVar  atomic.Pointer[CoordStatus]
+)
+
+// PublishCoord exposes st as the expvar "autorfm.coord". Like PublishSweep,
+// the name is registered once per process (expvar panics on duplicates) and
+// re-pointed at the most recent status on later calls.
+func PublishCoord(st *CoordStatus) {
+	coordVar.Store(st)
+	coordOnce.Do(func() {
+		expvar.Publish("autorfm.coord", expvar.Func(func() interface{} {
+			if cur := coordVar.Load(); cur != nil {
+				return cur.Snapshot()
+			}
+			return CoordSnapshot{}
+		}))
+	})
+}

@@ -356,3 +356,39 @@ func TestPublishSweepRepointable(t *testing.T) {
 		t.Fatalf("published snapshot = %+v", cur)
 	}
 }
+
+// TestCoordStatus: the coordinator gauges round-trip through Update /
+// Snapshot / JSON, and publishing twice repoints instead of panicking.
+func TestCoordStatus(t *testing.T) {
+	st := NewCoordStatus()
+	if snap := st.Snapshot(); snap.JobsTotal != 0 || snap.Requeues != 0 {
+		t.Fatalf("fresh status = %+v", snap)
+	}
+	st.Update(CoordSnapshot{
+		Workers: 2, Leases: 3, JobsTotal: 40, JobsDone: 12, StoreHits: 5,
+		Requeues: 1, Steals: 2, Uploads: 7, Duplicates: 1, Drained: false,
+	})
+	snap := st.Snapshot()
+	if snap.Workers != 2 || snap.Requeues != 1 || snap.Steals != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal([]byte(st.String()), &m); err != nil {
+		t.Fatalf("String() is not JSON: %v", err)
+	}
+	for _, key := range []string{"workers", "leases", "requeues", "steals", "uploads", "duplicates"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("String() missing %q: %s", key, st.String())
+		}
+	}
+	a, b := NewCoordStatus(), NewCoordStatus()
+	PublishCoord(a)
+	PublishCoord(b)
+	b.Update(CoordSnapshot{JobsDone: 9})
+	if cur := coordVar.Load(); cur != b {
+		t.Fatal("autorfm.coord not repointed to the latest status")
+	}
+	if cur := coordVar.Load().Snapshot(); cur.JobsDone != 9 {
+		t.Fatalf("published snapshot = %+v", cur)
+	}
+}
