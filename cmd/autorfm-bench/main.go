@@ -50,10 +50,13 @@ type benchExperiment struct {
 // committed as a BENCH_*.json trajectory point, with the same measurements
 // taken on the predecessor commit (see docs/PERF.md).
 type benchReport struct {
-	Schema      string            `json:"schema"`
-	Go          string            `json:"go"`
-	Scale       string            `json:"scale"`
-	Jobs        int               `json:"jobs"`
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	Scale  string `json:"scale"`
+	Jobs   int    `json:"jobs"`
+	// Shards is the -shards value of a sharded invocation; omitted for
+	// serial runs so historical serial reports keep their exact shape.
+	Shards      int               `json:"shards,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
 	Total       benchExperiment   `json:"total"`
 	// PeakHeapBytes is the heap footprint the run reached: HeapSys (bytes
@@ -97,6 +100,20 @@ func benchDelta(id string, wall time.Duration, pre, post benchCounters) benchExp
 	return e
 }
 
+// benchID labels a -benchjson experiment row. Sharded invocations get a
+// "#shards=N" suffix so their rows form a separate benchmark series: the
+// suffix keeps them from colliding with the serial series a committed
+// BENCH_*.json baseline pins, and cmd/benchdiff renders suffixed IDs as
+// informational — compared when the baseline has the matching series (or,
+// failing that, against the serial row of the same experiment) but never a
+// regression failure.
+func benchID(id string, shards int) string {
+	if shards > 1 {
+		return fmt.Sprintf("%s#shards=%d", id, shards)
+	}
+	return id
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -109,6 +126,7 @@ func run() int {
 		wls     = flag.String("workloads", "", "comma-separated workload subset")
 		seed    = flag.Uint64("seed", 1, "seed")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		shards  = flag.Int("shards", 1, "intra-simulation shard goroutines per job (1 = serial; results are byte-identical at any value, so it composes with -resume and the result cache)")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress line")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		listPl  = flag.Bool("list-plugins", false, "list registered trackers, policies and fault injectors and exit")
@@ -191,6 +209,7 @@ func run() int {
 		sc.Workloads = strings.Split(*wls, ",")
 	}
 	sc.Seed = *seed
+	sc.Shards = *shards
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -385,7 +404,7 @@ func run() int {
 			failed++
 			continue
 		}
-		benchRows = append(benchRows, benchDelta(e.ID, time.Since(start), pre, readBenchCounters(pool)))
+		benchRows = append(benchRows, benchDelta(benchID(e.ID, *shards), time.Since(start), pre, readBenchCounters(pool)))
 		fmt.Println(res)
 		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		if rep != nil {
@@ -419,8 +438,11 @@ func run() int {
 			Scale:         *scale,
 			Jobs:          pool.Workers(),
 			Experiments:   benchRows,
-			Total:         benchDelta("total", time.Since(benchStart), benchPre, readBenchCounters(pool)),
+			Total:         benchDelta(benchID("total", *shards), time.Since(benchStart), benchPre, readBenchCounters(pool)),
 			PeakHeapBytes: ms.HeapSys,
+		}
+		if *shards > 1 {
+			rep.Shards = *shards // serial reports keep their historical shape
 		}
 		rep.TotalEventsPerSec = rep.Total.EventsPerSec
 		buf, err := json.MarshalIndent(rep, "", "  ")

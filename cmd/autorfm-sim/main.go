@@ -44,6 +44,7 @@ func main() {
 		instr   = flag.Int64("instr", 300_000, "instructions per core")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel simulation workers (the test and baseline runs overlap)")
+		shards  = flag.Int("shards", 1, "intra-simulation parallelism: device-pipeline shard goroutines per run (1 = serial; output is byte-identical at any value)")
 		noBase  = flag.Bool("nobaseline", false, "skip the baseline run (no slowdown reported)")
 		storeP  = flag.String("store", "", "content-addressed result store file: serve previously completed configurations from it and add new ones (shared with autorfm-coord -store)")
 		list    = flag.Bool("list", false, "list workloads and exit")
@@ -122,6 +123,7 @@ func main() {
 		Tracker:             *trk,
 		InstructionsPerCore: *instr,
 		Seed:                *seed,
+		Shards:              *shards,
 	}
 	if *faults != "" {
 		if err := fault.ApplySpec(*faults, &scfg.Fault); err != nil {

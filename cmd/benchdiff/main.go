@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"autorfm/internal/fault"
@@ -29,6 +31,20 @@ type report struct {
 var knownSchemas = map[string]bool{
 	"autorfm-bench/v1": true,
 	"autorfm-bench/v2": true,
+}
+
+// shardedBase splits the "#shards=N" suffix autorfm-bench stamps on the rows
+// of a sharded invocation (e.g. "fig3#shards=4" → "fig3", true). Sharded rows
+// form an informational series: they are compared — against the baseline's
+// matching sharded series when it has one, else against the serial row of the
+// same experiment — but never fail the diff, and they never consume a serial
+// baseline row, so committed serial baselines keep gating the serial series
+// exactly as before.
+func shardedBase(id string) (string, bool) {
+	if i := strings.Index(id, "#shards="); i >= 0 {
+		return id[:i], true
+	}
+	return id, false
 }
 
 func load(path string) (*report, error) {
@@ -70,37 +86,69 @@ func main() {
 		os.Exit(2)
 	}
 
+	if diff(os.Stdout, base, fresh, *tolerance, *minWall) {
+		fmt.Fprintf(os.Stderr, "benchdiff: wall-time regression beyond %.0f%% tolerance\n", 100**tolerance)
+		os.Exit(1)
+	}
+}
+
+// diff renders the per-experiment comparison to w and reports whether any
+// gated (serial) series regressed beyond tolerance. Sharded rows — IDs with
+// the "#shards=N" suffix — are informational: displayed with their delta but
+// never a failure, and never consuming the serial baseline row they may fall
+// back to.
+func diff(w io.Writer, base, fresh *report, tolerance float64, minWall time.Duration) (failed bool) {
+	// baseline is consumed as rows match (leftovers report "only in
+	// baseline"); every lookup the sharded fallback makes goes through the
+	// immutable copy, since the serial row it falls back to has usually
+	// already been matched — and consumed — by the fresh serial row.
 	baseline := make(map[string]int64, len(base.Experiments))
 	for _, e := range base.Experiments {
 		baseline[e.ID] = e.WallNS
 	}
+	immutable := make(map[string]int64, len(baseline))
+	for id, ns := range baseline {
+		immutable[id] = ns
+	}
 
-	failed := false
-	fmt.Printf("%-8s %14s %14s %9s\n", "exp", "base(ms)", "fresh(ms)", "delta")
+	fmt.Fprintf(w, "%-16s %14s %14s %9s\n", "exp", "base(ms)", "fresh(ms)", "delta")
 	for _, e := range fresh.Experiments {
+		baseID, sharded := shardedBase(e.ID)
 		bNS, ok := baseline[e.ID]
-		if !ok {
-			fmt.Printf("%-8s %14s %14.3f %9s\n", e.ID, "-", float64(e.WallNS)/1e6, "new")
-			continue
-		}
-		delete(baseline, e.ID)
-		delta := float64(e.WallNS-bNS) / float64(bNS)
 		mark := ""
 		switch {
-		case delta <= *tolerance:
-		case bNS < minWall.Nanoseconds() && e.WallNS < minWall.Nanoseconds():
-			mark = "  (noise)"
-		default:
-			mark = "  REGRESSED"
-			failed = true
+		case ok:
+			delete(baseline, e.ID)
+			if sharded {
+				mark = "  (sharded)"
+			}
+		case sharded:
+			// No committed sharded series: fall back, informationally, to
+			// the serial row of the same experiment — without consuming it,
+			// so the fresh serial row still gets its gated comparison.
+			if bNS, ok = immutable[baseID]; ok {
+				mark = "  (sharded vs serial)"
+			}
 		}
-		fmt.Printf("%-8s %14.3f %14.3f %+8.1f%%%s\n", e.ID, float64(bNS)/1e6, float64(e.WallNS)/1e6, 100*delta, mark)
+		if !ok {
+			fmt.Fprintf(w, "%-16s %14s %14.3f %9s\n", e.ID, "-", float64(e.WallNS)/1e6, "new")
+			continue
+		}
+		delta := float64(e.WallNS-bNS) / float64(bNS)
+		if !sharded {
+			switch {
+			case delta <= tolerance:
+			case bNS < minWall.Nanoseconds() && e.WallNS < minWall.Nanoseconds():
+				mark = "  (noise)"
+			default:
+				mark = "  REGRESSED"
+				failed = true
+			}
+		}
+		fmt.Fprintf(w, "%-16s %14.3f %14.3f %+8.1f%%%s\n", e.ID, float64(bNS)/1e6, float64(e.WallNS)/1e6, 100*delta, mark)
 	}
 	for id := range baseline {
-		fmt.Printf("%-8s: only in baseline (skipped)\n", id)
+		fmt.Fprintf(w, "%-16s: only in baseline (skipped)\n", id)
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: wall-time regression beyond %.0f%% tolerance\n", 100**tolerance)
-		os.Exit(1)
-	}
+	return failed
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestShardedBase(t *testing.T) {
+	cases := []struct {
+		id      string
+		base    string
+		sharded bool
+	}{
+		{"fig3", "fig3", false},
+		{"fig3#shards=4", "fig3", true},
+		{"total#shards=2", "total", true},
+		{"weird#shards=", "weird", true},
+	}
+	for _, c := range cases {
+		base, sharded := shardedBase(c.id)
+		if base != c.base || sharded != c.sharded {
+			t.Errorf("shardedBase(%q) = (%q, %v), want (%q, %v)",
+				c.id, base, sharded, c.base, c.sharded)
+		}
+	}
+}
+
+// TestDiffShardedSeriesInformational pins the satellite contract: sharded
+// rows are compared — exact series first, serial fallback otherwise — but a
+// sharded slowdown never fails the diff, and the sharded fallback does not
+// consume the serial baseline row the serial series is gated against.
+func TestDiffShardedSeriesInformational(t *testing.T) {
+	ms := int64(time.Millisecond)
+	base := &report{Experiments: []experiment{
+		{ID: "fig3", WallNS: 1000 * ms},
+		{ID: "tab5#shards=4", WallNS: 400 * ms},
+	}}
+	fresh := &report{Experiments: []experiment{
+		{ID: "fig3", WallNS: 1100 * ms},          // +10%: within tolerance
+		{ID: "fig3#shards=4", WallNS: 5000 * ms}, // vs serial, 5x slower: informational
+		{ID: "tab5#shards=4", WallNS: 900 * ms},  // vs its own series, 2x: informational
+		{ID: "appb#shards=2", WallNS: 10 * ms},   // no baseline at all: new
+	}}
+	var out strings.Builder
+	if diff(&out, base, fresh, 0.25, 50*time.Millisecond) {
+		t.Fatalf("sharded slowdowns failed the diff:\n%s", out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"(sharded vs serial)", "(sharded)", "new"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "REGRESSED") || strings.Contains(s, "only in baseline") {
+		t.Errorf("sharded rows mis-gated or serial baseline consumed:\n%s", s)
+	}
+
+	// The serial gate still works: the same serial regression fails.
+	fresh.Experiments[0].WallNS = 2000 * ms
+	out.Reset()
+	if !diff(&out, base, fresh, 0.25, 50*time.Millisecond) {
+		t.Fatalf("serial regression not flagged:\n%s", out.String())
+	}
+}

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"sync"
+
 	"autorfm/internal/clk"
 	"autorfm/internal/event"
 	"autorfm/internal/memctrl"
@@ -206,8 +208,16 @@ func (c *Cache) lookup(line uint64) bool {
 // cache to its steady-state occupancy before measurement (short simulation
 // slices would otherwise see no capacity evictions and no writebacks).
 func (c *Cache) Warm(line uint64, dirty bool) {
-	base := int(line&c.setMask) * c.ways
 	c.tick++
+	c.warmAt(line, dirty, c.tick)
+}
+
+// warmAt installs line with an explicit LRU stamp. It touches only line's
+// set, which is what makes WarmBatch's set-partitioned parallel warm both
+// race-free and byte-identical to the serial loop: the stamp of warm i is
+// always i+1 regardless of which goroutine applies it.
+func (c *Cache) warmAt(line uint64, dirty bool, tick uint64) {
+	base := int(line&c.setMask) * c.ways
 	// One pass: stop at the first free way or duplicate (in way order, as
 	// installation always has), tracking the LRU victim for the full-set
 	// case along the way. Warming touches every line slot of the cache, so
@@ -223,8 +233,76 @@ func (c *Cache) Warm(line uint64, dirty bool) {
 		}
 	}
 	c.tags[victim] = line
-	c.lru[victim] = c.tick
+	c.lru[victim] = tick
 	c.dirty[victim] = dirty
+}
+
+// WarmBatch warms lines[i] (dirty[i]) for all i, exactly as len(lines)
+// successive Warm calls would, spreading the work over workers goroutines.
+// The cache is partitioned by set: each worker owns a contiguous range of
+// sets and applies, in input order, exactly the entries that map to its
+// range, with the LRU stamp the serial loop would have used (i+1). Sets are
+// disjoint across workers and warming touches nothing but the addressed
+// set, so the result is byte-identical to serial warming at any GOMAXPROCS
+// (pinned by TestWarmBatchMatchesSerial).
+func (c *Cache) WarmBatch(lines []uint64, dirty []bool, workers int) {
+	if len(lines) != len(dirty) {
+		panic("cache: WarmBatch lines/dirty length mismatch")
+	}
+	numSets := int(c.setMask) + 1
+	if workers > numSets {
+		workers = numSets
+	}
+	if workers <= 1 {
+		for i, line := range lines {
+			c.tick++
+			c.warmAt(line, dirty[i], c.tick)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := uint64(w * numSets / workers)
+		hi := uint64((w + 1) * numSets / workers)
+		go func() {
+			defer wg.Done()
+			for i, line := range lines {
+				if s := line & c.setMask; s >= lo && s < hi {
+					c.warmAt(line, dirty[i], uint64(i)+c.tick+1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c.tick += uint64(len(lines))
+}
+
+// Reset empties the cache and rebinds it to mc (typically a freshly built
+// controller on the same event queue), keeping the big SoA arrays and the
+// MSHR pool so a reused machine starts its next run without reallocating.
+// MSHRs still outstanding when the previous run ended (in-flight prefetch
+// fills cut short by run completion) are reclaimed into the free list —
+// their DRAM requests died with the previous controller.
+func (c *Cache) Reset(mc *memctrl.Controller) {
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+		c.lru[i] = 0
+		c.dirty[i] = false
+	}
+	c.tick = 0
+	c.mc = mc
+	for line, m := range c.out {
+		delete(c.out, line)
+		m.waiters = m.waiters[:0]
+		m.dirty = false
+		c.putMSHR(m)
+	}
+	for line := range c.recent {
+		delete(c.recent, line)
+	}
+	c.recentHead, c.recentN = 0, 0
+	c.Stats = Stats{}
 }
 
 // Occupancy returns the number of valid lines currently installed. It is a

@@ -144,12 +144,19 @@ type Bank struct {
 
 	Stats  BankStats
 	Ledger *Ledger
+
+	// fab, when non-nil, defers this bank's device pipeline (tracker,
+	// policy, PRNG, ledger — and the Stats fields they update) to its
+	// shard's worker; see shard.go for the ownership split.
+	fab *shardFabric
 }
 
 // Device is the full DRAM channel: all banks plus shared configuration.
 type Device struct {
 	Cfg   Config
 	Banks []*Bank
+
+	fabric *shardFabric
 }
 
 // NewDevice builds the device: one tracker, policy and PRNG per bank.
@@ -158,22 +165,8 @@ func NewDevice(cfg Config) *Device {
 	d := &Device{Cfg: cfg}
 	d.Banks = make([]*Bank, cfg.Geo.Banks)
 	for i := range d.Banks {
-		r := rng.New(cfg.Seed ^ (0xb1a5ed<<16 + uint64(i)*0x9e37))
-		pol := cfg.NewPolicy(i, r)
-		trk := cfg.NewTracker(i, r)
-		// If the policy is recursive and the default MINT tracker is in
-		// use, it must reserve the transitive slot (W+1 selection).
-		if m, ok := trk.(*tracker.MINT); ok && pol.Recursive() && m.Window() == cfg.TH {
-			trk = tracker.NewMINT(cfg.TH, true, r)
-		}
-		b := &Bank{
-			ID:     i,
-			cfg:    &d.Cfg,
-			trk:    trk,
-			policy: pol,
-			r:      r,
-			saum:   -1,
-		}
+		b := &Bank{ID: i, cfg: &d.Cfg}
+		b.buildPipeline(&d.Cfg)
 		if cfg.Mode == ModePRAC {
 			b.pracCounts = make([]uint32, cfg.Geo.RowsPerBank)
 		}
@@ -183,6 +176,56 @@ func NewDevice(cfg Config) *Device {
 		d.Banks[i] = b
 	}
 	return d
+}
+
+// buildPipeline constructs the bank's fresh-state device pipeline — PRNG,
+// policy, tracker — and zeroes the per-run scalar state. It is the shared
+// core of NewDevice and Reset: both produce bit-identical bank state.
+func (b *Bank) buildPipeline(cfg *Config) {
+	r := rng.New(cfg.Seed ^ (0xb1a5ed<<16 + uint64(b.ID)*0x9e37))
+	pol := cfg.NewPolicy(b.ID, r)
+	trk := cfg.NewTracker(b.ID, r)
+	// If the policy is recursive and the default MINT tracker is in
+	// use, it must reserve the transitive slot (W+1 selection).
+	if m, ok := trk.(*tracker.MINT); ok && pol.Recursive() && m.Window() == cfg.TH {
+		trk = tracker.NewMINT(cfg.TH, true, r)
+	}
+	b.trk, b.policy, b.r = trk, pol, r
+	b.actsInWindow, b.pendingMit = 0, false
+	b.saum, b.saumUntil = -1, 0
+	b.aboRow, b.aboPending = 0, false
+	b.Stats = BankStats{}
+}
+
+// Reset reinitialises the device for cfg, reusing its biggest allocations —
+// the per-bank PRAC counter arrays and audit ledgers — instead of
+// reallocating them, and reports whether it could. Reuse requires the same
+// geometry, mode, and audit setting (those decide which arrays exist and
+// how large they are); everything else — seed, TH, tracker/policy
+// constructors, trace attachment — is replaced wholesale, and the per-bank
+// pipelines are rebuilt from the new constructors, so the post-Reset device
+// is bit-identical to NewDevice(cfg) (pinned by the batch reuse test). A
+// device with an attached shard fabric cannot be reset.
+func (d *Device) Reset(cfg Config) bool {
+	cfg.fillDefaults()
+	if d.fabric != nil {
+		return false
+	}
+	if cfg.Geo != d.Cfg.Geo || cfg.Mode != d.Cfg.Mode || cfg.Audit != d.Cfg.Audit {
+		return false
+	}
+	d.Cfg = cfg
+	for _, b := range d.Banks {
+		b.buildPipeline(&d.Cfg)
+		for i := range b.pracCounts {
+			b.pracCounts[i] = 0
+		}
+		if b.Ledger != nil {
+			b.Ledger.threshold = cfg.AuditThreshold
+			b.Ledger.Reset()
+		}
+	}
+	return true
 }
 
 // Tracker exposes the bank's tracker (used by attack harnesses).
@@ -220,13 +263,25 @@ func (b *Bank) Activate(now clk.Tick, row uint32) ActResult {
 		return res
 	}
 	b.Stats.Acts++
-	if b.Ledger != nil {
-		b.Ledger.RecordAct(row)
+	if b.fab != nil {
+		// Defer the shard-owned pipeline (ledger record + tracker update)
+		// in exactly the serial call order; skip the send when this mode
+		// has no shard-side work for an ACT.
+		if b.Ledger != nil || b.cfg.Mode == ModeRFM || b.cfg.Mode == ModeAutoRFM {
+			b.deferCmd(opAct, now, uint64(row))
+		}
+	} else {
+		if b.Ledger != nil {
+			b.Ledger.RecordAct(row)
+		}
+		switch b.cfg.Mode {
+		case ModeRFM, ModeAutoRFM:
+			b.trk.OnActivation(row)
+		}
 	}
-	switch b.cfg.Mode {
-	case ModeRFM, ModeAutoRFM:
-		b.trk.OnActivation(row)
-	case ModePRAC:
+	if b.cfg.Mode == ModePRAC {
+		// The per-row counters stay master-owned: the MC's ABO decision
+		// reads them synchronously on every ACT.
 		b.pracCounts[row]++
 		if int(b.pracCounts[row]) >= b.cfg.PRACETh && !b.aboPending {
 			b.aboRow, b.aboPending = row, true
@@ -254,23 +309,42 @@ func (b *Bank) StartPendingMitigation(prechargeTime clk.Tick) {
 		return
 	}
 	b.pendingMit = false
-	sel := b.trk.SelectForMitigation()
-	if !sel.OK {
-		return
+	var row uint32
+	var numRefresh int
+	if b.fab != nil {
+		// Deterministic join: the shard performs the selection and victim
+		// refreshes (draining every earlier command for this bank first),
+		// and replies with the selection the SAUM is computed from —
+		// consumed here, at exactly the point serial read it.
+		rep := b.joinReply(b.deferCmd(opAutoMit, prechargeTime, 0))
+		if !rep.ok {
+			return
+		}
+		row, numRefresh = rep.row, rep.numRefresh
+	} else {
+		sel := b.trk.SelectForMitigation()
+		if !sel.OK {
+			return
+		}
+		b.mitigate(sel)
+		row, numRefresh = sel.Row, b.policy.NumRefreshes()
 	}
-	b.mitigate(sel)
-	b.saum = b.cfg.Geo.Subarray(sel.Row)
-	dur := b.cfg.Timing.MitigationTime(b.policy.NumRefreshes())
+	b.saum = b.cfg.Geo.Subarray(row)
+	dur := b.cfg.Timing.MitigationTime(numRefresh)
 	b.saumUntil = prechargeTime + dur
 	b.Stats.SAUMBusy += dur
 	if b.cfg.Trace != nil {
-		b.cfg.Trace.Record(prechargeTime, dur, telemetry.KindMIT, telemetry.CauseAutoRFM, b.ID, sel.Row)
+		b.cfg.Trace.Record(prechargeTime, dur, telemetry.KindMIT, telemetry.CauseAutoRFM, b.ID, row)
 	}
 }
 
 // ExecuteRFM performs one mitigation under an explicit RFM command
 // (ModeRFM); the MC has already stalled the bank for tRFM.
 func (b *Bank) ExecuteRFM() {
+	if b.fab != nil {
+		b.deferCmd(opRFM, 0, 0)
+		return
+	}
 	sel := b.trk.SelectForMitigation()
 	if sel.OK {
 		b.mitigate(sel)
@@ -281,6 +355,10 @@ func (b *Bank) ExecuteRFM() {
 // plus — in RFM mode — a borrowed-time mitigation (REF reduces RAA by RFMTH
 // because the device mitigates during tRFC; Section II-E).
 func (b *Bank) ExecuteREF(refIndex uint64) {
+	if b.fab != nil {
+		b.deferCmd(opREF, 0, refIndex)
+		return
+	}
 	if b.Ledger != nil {
 		b.Ledger.RecordPeriodicRefresh(refIndex)
 	}
@@ -305,6 +383,16 @@ func (b *Bank) ExecutePRACBackoff() {
 	b.aboPending = false
 	row := b.aboRow
 	b.pracCounts[row] = 0
+	if b.fab != nil {
+		// The shard selects the victims (consuming the same PRNG draws as
+		// serial) and replies with them so the master can replenish the
+		// master-owned per-row counters before the next ACT reads them.
+		rep := b.joinReply(b.deferCmd(opPRACMit, 0, uint64(row)))
+		for _, v := range rep.victims {
+			b.pracCounts[v] = 0
+		}
+		return
+	}
 	b.mitigate(tracker.Selection{Row: row, Level: 1, OK: true})
 }
 
@@ -329,8 +417,10 @@ func (b *Bank) mitigate(sel tracker.Selection) {
 	}
 }
 
-// TotalStats sums the per-bank statistics.
+// TotalStats sums the per-bank statistics. On a sharded device it barriers
+// first, so the totals are exactly the serial engine's at the same tick.
 func (d *Device) TotalStats() BankStats {
+	d.sync()
 	var t BankStats
 	for _, b := range d.Banks {
 		t.Acts += b.Stats.Acts
@@ -349,6 +439,7 @@ func (d *Device) TotalStats() BankStats {
 // not expose occupancy — and wrapped trackers, e.g. under fault injection —
 // contribute nothing.
 func (d *Device) TrackerTableStats() (live, budget int, spill int64) {
+	d.sync()
 	for _, b := range d.Banks {
 		if ts, ok := b.trk.(tracker.TableStats); ok {
 			l, bu, s := ts.TableStats()
@@ -363,6 +454,7 @@ func (d *Device) TrackerTableStats() (live, budget int, spill int64) {
 // MaxDamage returns the worst per-row damage observed by any bank's ledger,
 // and the total number of audit failures. It panics if auditing is off.
 func (d *Device) MaxDamage() (max uint32, failures uint64) {
+	d.sync()
 	for _, b := range d.Banks {
 		if b.Ledger == nil {
 			panic("dram: MaxDamage without Audit enabled")

@@ -1,0 +1,187 @@
+package dram
+
+import (
+	"fmt"
+
+	"autorfm/internal/clk"
+	"autorfm/internal/shard"
+	"autorfm/internal/tracker"
+)
+
+// Shard command opcodes. Each opcode's applier performs exactly the calls —
+// in exactly the order — that the serial engine performs inline at the same
+// point, against shard-owned bank state only.
+const (
+	// opAct defers one successful demand activation: the audit ledger's
+	// RecordAct plus (under RFM/AutoRFM) the tracker's OnActivation.
+	opAct uint8 = iota
+	// opREF defers ExecuteREF's device work: the ledger's periodic-refresh
+	// bookkeeping, REF-aware tracker notification, and (under RFM) the
+	// borrowed-time mitigation. Arg carries the REF index.
+	opREF
+	// opRFM defers ExecuteRFM's mitigation (select + victims + ledger).
+	opRFM
+	// opAutoMit defers the AutoRFM window mitigation. The master joins on
+	// it: the reply carries the selection the SAUM is computed from.
+	opAutoMit
+	// opPRACMit defers a PRAC back-off mitigation of row Arg. The master
+	// joins on it: the reply carries the victim rows whose master-owned
+	// PRAC counters must be replenished.
+	opPRACMit
+)
+
+// mitReply is a shard's answer to a joined mitigation command. The worker
+// writes it before publishing the command's applied sequence; the master
+// reads it only after Join, so the slot needs no further synchronization.
+type mitReply struct {
+	ok         bool
+	row        uint32
+	numRefresh int
+	victims    []uint32 // reused backing array; valid until the next joined command on this shard
+}
+
+// shardFabric is the device side of the intra-simulation parallelism
+// fabric: the worker group, the bank→shard plan, and per-shard reply slots.
+type shardFabric struct {
+	grp     *shard.Group
+	shardOf []int32
+	replies []mitReply
+}
+
+// AttachShards partitions the device's banks into n shard groups —
+// subchannel-first, so n ≤ Subchannels shards never split a subchannel,
+// and larger n splits each subchannel into contiguous bank groups — and
+// starts one worker goroutine per shard. From now until DetachShards, the
+// deferred device pipeline (tracker, mitigation policy, per-bank PRNG,
+// audit ledger) of every bank runs on its shard's worker; aggregate reads
+// (TotalStats, TrackerTableStats, MaxDamage) transparently barrier first.
+//
+// The caller owns the returned group's lifecycle: Close it (and then
+// DetachShards) before abandoning the device.
+func (d *Device) AttachShards(n int) *shard.Group {
+	if d.fabric != nil {
+		panic("dram: AttachShards on an already-sharded device")
+	}
+	banks := len(d.Banks)
+	if n < 2 || n > banks {
+		panic(fmt.Sprintf("dram: shard count %d outside [2, %d]", n, banks))
+	}
+	f := &shardFabric{
+		shardOf: make([]int32, banks),
+		replies: make([]mitReply, n),
+	}
+	// Banks are laid out contiguous per subchannel (bank/banksPerSub), so
+	// contiguous chunking is subchannel-first: it only splits a subchannel
+	// once every subchannel has its own shard.
+	for b := range f.shardOf {
+		f.shardOf[b] = int32(b * n / banks)
+	}
+	f.grp = shard.NewGroup(n, d.applyCmd)
+	d.fabric = f
+	for _, b := range d.Banks {
+		b.fab = f
+	}
+	return f.grp
+}
+
+// DetachShards returns the device to serial operation. The group must have
+// been Closed first: after Close every deferred command has been applied
+// and the worker goroutines have exited, so direct reads are safe again.
+func (d *Device) DetachShards() {
+	if d.fabric == nil {
+		return
+	}
+	for _, b := range d.Banks {
+		b.fab = nil
+	}
+	d.fabric = nil
+}
+
+// sync barriers the shard group (when attached) so that every deferred
+// command issued so far is applied and visible. Aggregate device reads call
+// it so mid-run telemetry snapshots observe exactly the state the serial
+// engine would have at the same tick.
+func (d *Device) sync() {
+	if d.fabric != nil {
+		d.fabric.grp.Barrier()
+	}
+}
+
+// applyCmd executes one deferred command on shard s. It is the only code
+// that touches shard-owned bank state (trk, policy, r, Ledger, and the
+// shard-owned Stats fields) while the fabric is attached.
+func (d *Device) applyCmd(s int, c shard.Cmd) {
+	b := d.Banks[c.Bank]
+	switch c.Op {
+	case opAct:
+		row := uint32(c.Arg)
+		if b.Ledger != nil {
+			b.Ledger.RecordAct(row)
+		}
+		switch b.cfg.Mode {
+		case ModeRFM, ModeAutoRFM:
+			b.trk.OnActivation(row)
+		}
+	case opREF:
+		if b.Ledger != nil {
+			b.Ledger.RecordPeriodicRefresh(c.Arg)
+		}
+		if ra, ok := b.trk.(tracker.REFAware); ok {
+			ra.OnREF()
+		}
+		if b.cfg.Mode == ModeRFM {
+			if sel := b.trk.SelectForMitigation(); sel.OK {
+				b.mitigate(sel)
+			}
+		}
+	case opRFM:
+		if sel := b.trk.SelectForMitigation(); sel.OK {
+			b.mitigate(sel)
+		}
+	case opAutoMit:
+		rep := &d.fabric.replies[s]
+		sel := b.trk.SelectForMitigation()
+		rep.ok = sel.OK
+		if !sel.OK {
+			return
+		}
+		b.mitigate(sel)
+		rep.row = sel.Row
+		rep.numRefresh = b.policy.NumRefreshes()
+	case opPRACMit:
+		rep := &d.fabric.replies[s]
+		row := uint32(c.Arg)
+		// Serial ExecutePRACBackoff clears the overflowing row's counter
+		// before mitigating; the master did that inline. The mitigation
+		// itself — stats, victim selection (and its PRNG draws), ledger
+		// victim records — replays here; the victim list travels back so
+		// the master can replenish the master-owned PRAC counters.
+		b.Stats.Mitigations++
+		victims := b.policy.Victims(tracker.Selection{Row: row, Level: 1, OK: true}, b.cfg.Geo.RowsPerBank)
+		b.Stats.VictimRefreshes += uint64(len(victims))
+		if b.Ledger != nil {
+			for _, v := range victims {
+				b.Ledger.RecordVictimRefresh(v)
+			}
+		}
+		rep.victims = append(rep.victims[:0], victims...)
+	default:
+		panic(fmt.Sprintf("dram: unknown shard opcode %d", c.Op))
+	}
+}
+
+// deferCmd routes one command to the bank's shard, returning its join
+// sequence.
+func (b *Bank) deferCmd(op uint8, tick clk.Tick, arg uint64) uint64 {
+	f := b.fab
+	return f.grp.Send(int(f.shardOf[b.ID]), shard.Cmd{Op: op, Bank: int32(b.ID), Tick: tick, Arg: arg})
+}
+
+// joinReply blocks until the bank's shard has applied command seq and
+// returns that shard's reply slot.
+func (b *Bank) joinReply(seq uint64) *mitReply {
+	f := b.fab
+	s := int(f.shardOf[b.ID])
+	f.grp.Join(s, seq)
+	return &f.replies[s]
+}

@@ -1,0 +1,177 @@
+package dram
+
+import (
+	"reflect"
+	"testing"
+
+	"autorfm/internal/clk"
+	"autorfm/internal/mapping"
+	"autorfm/internal/rng"
+)
+
+// driveScript exercises every sharded-vs-serial seam of a device with a
+// deterministic command mix: demand ACTs over a few subarrays, periodic
+// REFs, explicit RFMs, AutoRFM window mitigations at precharge, and PRAC
+// back-offs, mirroring the call pattern the memory controller produces.
+func driveScript(d *Device) {
+	geo := d.Cfg.Geo
+	r := rng.New(99)
+	now := clk.Tick(0)
+	var refIdx uint64
+	for i := 0; i < 4000; i++ {
+		bank := d.Banks[int(r.Int63n(int64(geo.Banks)))]
+		row := uint32(r.Int63n(int64(geo.RowsPerBank / 64))) // concentrated: forces mitigations
+		now += clk.Tick(10 + r.Int63n(50))
+		res := bank.Activate(now, row)
+		if res.WindowClosed {
+			bank.StartPendingMitigation(now + clk.DDR5().TRAS)
+		}
+		if res.ABO {
+			bank.ExecutePRACBackoff()
+		}
+		if i%200 == 0 {
+			refIdx++
+			for _, b := range d.Banks {
+				b.ExecuteREF(refIdx)
+			}
+		}
+		if d.Cfg.Mode == ModeRFM && i%97 == 0 {
+			bank.ExecuteRFM()
+		}
+	}
+}
+
+// bankSnapshot captures every observable per-bank outcome for comparison.
+type bankSnapshot struct {
+	Stats      BankStats
+	SAUM       int
+	SAUMUntil  clk.Tick
+	MaxDamage  uint32
+	Failures   uint64
+	PracNonZer int
+}
+
+func snapshot(d *Device) []bankSnapshot {
+	out := make([]bankSnapshot, len(d.Banks))
+	for i, b := range d.Banks {
+		s := bankSnapshot{Stats: b.Stats}
+		s.SAUM, s.SAUMUntil = b.SAUM()
+		if b.Ledger != nil {
+			s.MaxDamage, s.Failures = b.Ledger.MaxDamage, b.Ledger.Failures
+		}
+		for _, c := range b.pracCounts {
+			if c != 0 {
+				s.PracNonZer++
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestShardedDeviceMatchesSerial runs the same script against a serial and
+// a sharded device for every mode — with auditing on, so the ledger's
+// shard-side ownership is covered (sim-level runs never enable Audit) —
+// and requires identical final state.
+func TestShardedDeviceMatchesSerial(t *testing.T) {
+	for _, mode := range []Mode{ModeNone, ModeRFM, ModeAutoRFM, ModePRAC} {
+		for _, shards := range []int{2, 3, 8} {
+			mk := func() *Device {
+				return NewDevice(Config{
+					Geo:            mapping.Default(),
+					Timing:         clk.DDR5(),
+					Mode:           mode,
+					TH:             4,
+					PRACETh:        8,
+					Audit:          true,
+					AuditThreshold: 32,
+					Seed:           7,
+				})
+			}
+			serial := mk()
+			driveScript(serial)
+			want := snapshot(serial)
+
+			sharded := mk()
+			grp := sharded.AttachShards(shards)
+			driveScript(sharded)
+			grp.Barrier()
+			grp.Close()
+			sharded.DetachShards()
+			got := snapshot(sharded)
+
+			if !reflect.DeepEqual(got, want) {
+				for i := range want {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Fatalf("mode %v shards %d: bank %d diverges\nserial:  %+v\nsharded: %+v",
+							mode, shards, i, want[i], got[i])
+					}
+				}
+			}
+			// TotalStats on the sharded device must agree too (it syncs).
+			if st := serial.TotalStats(); st != sharded.TotalStats() {
+				t.Fatalf("mode %v shards %d: TotalStats diverges", mode, shards)
+			}
+		}
+	}
+}
+
+// TestShardedActivateZeroAllocs extends the ZeroAllocs guards to the
+// sharded per-activation path: deferring the tracker/ledger work of an ACT
+// through the command ring must not allocate. (Mitigations are excluded —
+// the policy's Victims call allocates identically in serial and sharded
+// runs.)
+func TestShardedActivateZeroAllocs(t *testing.T) {
+	d := NewDevice(Config{
+		Geo:    mapping.Default(),
+		Timing: clk.DDR5(),
+		Mode:   ModeRFM, // tracker updates deferred, no window mitigation joins
+		TH:     1 << 20, // never select
+		Seed:   7,
+	})
+	grp := d.AttachShards(4)
+	defer func() {
+		grp.Close()
+		d.DetachShards()
+	}()
+	b := d.Banks[0]
+	now := clk.Tick(100)
+	b.Activate(now, 1) // warm
+	allocs := testing.AllocsPerRun(500, func() {
+		now += 1000
+		b.Activate(now, 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded Activate allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAttachShardsValidation pins the attach preconditions.
+func TestAttachShardsValidation(t *testing.T) {
+	d := NewDevice(Config{Geo: mapping.Default(), Timing: clk.DDR5(), Seed: 1})
+	for _, n := range []int{-1, 0, 1, len(d.Banks) + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AttachShards(%d) did not panic", n)
+				}
+			}()
+			d.AttachShards(n)
+		}()
+	}
+	grp := d.AttachShards(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double AttachShards did not panic")
+			}
+		}()
+		d.AttachShards(2)
+	}()
+	grp.Close()
+	d.DetachShards()
+	d.DetachShards() // idempotent
+	if !d.Reset(d.Cfg) {
+		t.Error("Reset after detach should succeed")
+	}
+}

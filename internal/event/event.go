@@ -123,6 +123,37 @@ type Queue struct {
 // event).
 func (q *Queue) Now() clk.Tick { return q.now }
 
+// Reset returns the queue to its zero state — time 0, nothing scheduled —
+// while keeping its allocations (the items arena, far-lane heap, and
+// now-lane backing arrays), so a reused machine schedules its first events
+// without re-growing anything. Pending handlers are dropped and their
+// references cleared so an abandoned run's components can be collected.
+func (q *Queue) Reset() {
+	q.now = 0
+	for i := range q.items {
+		q.items[i] = wItem{}
+	}
+	if len(q.items) > 1 {
+		q.items = q.items[:1] // keep the index-0 sentinel
+	}
+	q.free = 0
+	q.head = [wheelSize]int32{}
+	q.tail = [wheelSize]int32{}
+	q.bitmap = [numWords]uint64{}
+	q.summry = 0
+	q.wheelN = 0
+	for i := range q.far {
+		q.far[i] = fItem{}
+	}
+	q.far = q.far[:0]
+	q.seq = 0
+	for i := range q.nowQ {
+		q.nowQ[i] = nil
+	}
+	q.nowQ = q.nowQ[:0]
+	q.nowHead = 0
+}
+
 // Schedule schedules h to run at time t. Scheduling in the past (t < Now)
 // is a programming error and panics, since it would silently corrupt
 // causality. Steady-state scheduling is allocation-free (the items arena,

@@ -49,6 +49,13 @@ type Scale struct {
 	// failures. Individual jobs that die render as ERR cells; the rest
 	// of the table still computes.
 	Fault fault.Config
+	// Shards is applied to every simulation job the experiment submits:
+	// intra-simulation parallelism (sim.Config.Shards). Like Jobs it never
+	// changes results — sharded output is byte-identical to serial — so it
+	// composes freely with the result cache and distribution. Useful when a
+	// sweep has fewer distinct configs than CPUs, where job parallelism
+	// alone leaves cores idle.
+	Shards int
 }
 
 // ctx returns the scale's context, defaulting to Background.
@@ -132,6 +139,7 @@ func (sc Scale) simCfg(p workload.Profile, muts ...func(*sim.Config)) sim.Config
 		InstructionsPerCore: sc.Instructions,
 		Seed:                sc.Seed,
 		Fault:               sc.Fault,
+		Shards:              sc.Shards,
 	}
 	for _, mut := range muts {
 		mut(&cfg)

@@ -110,6 +110,16 @@ type Pool struct {
 	mu    sync.Mutex // guards cache
 	cache map[string]*entry
 
+	// machines is a free list of warm sim.Machine allocations, one checked
+	// out per in-flight simulation (so it never exceeds the worker count):
+	// multi-seed same-config sweeps reuse the previous run's event queue,
+	// LLC arrays, and device state via sim's Reset paths instead of
+	// reconstructing them. Reuse is invisible in results — a Machine run is
+	// byte-identical to a fresh run, and a Machine that hosted a panicking
+	// or cancelled job rebuilds itself on its next use.
+	mmu      sync.Mutex
+	machines []*sim.Machine
+
 	cmu    sync.Mutex // guards cw and cfails
 	cw     io.Writer  // checkpoint sink, nil when disabled
 	cfails uint64     // checkpoint writes that returned an error
@@ -242,7 +252,9 @@ func (p *Pool) simulate(ctx context.Context, cfg sim.Config, key string) (res si
 	if p.Instrument != nil {
 		p.Instrument(&cfg, key)
 	}
-	res, err = sim.RunCtx(ctx, cfg)
+	m := p.getMachine()
+	defer p.putMachine(m)
+	res, err = m.RunCtx(ctx, cfg)
 	if err == nil {
 		p.pmu.Lock()
 		p.events += res.Events
@@ -250,6 +262,27 @@ func (p *Pool) simulate(ctx context.Context, cfg sim.Config, key string) (res si
 		p.checkpoint(key, res)
 	}
 	return res, err
+}
+
+// getMachine checks a warm machine out of the free list (or makes a cold
+// one). Callers hold a worker slot, so at most Workers() machines exist.
+func (p *Pool) getMachine() *sim.Machine {
+	p.mmu.Lock()
+	defer p.mmu.Unlock()
+	if n := len(p.machines); n > 0 {
+		m := p.machines[n-1]
+		p.machines = p.machines[:n-1]
+		return m
+	}
+	return &sim.Machine{}
+}
+
+// putMachine returns a machine to the free list. It runs even when the job
+// panicked — the machine marks itself dirty and rebuilds on next use.
+func (p *Pool) putMachine(m *sim.Machine) {
+	p.mmu.Lock()
+	p.machines = append(p.machines, m)
+	p.mmu.Unlock()
 }
 
 // RunAll executes the jobs in parallel and returns their results and

@@ -1,0 +1,26 @@
+// Package shard is the intra-simulation parallelism fabric: per-shard
+// single-producer/single-consumer command rings, worker goroutines, and
+// deterministic join barriers.
+//
+// The sharded engine keeps the master event loop — cores, LLC, and memory-
+// controller timing — byte-for-byte serial, and offloads the device-side
+// pipeline of each bank group (tracker updates, mitigation-victim
+// selection, audit-ledger bookkeeping, and the per-bank PRNG draws they
+// make) to a worker goroutine. The master streams tick-stamped commands
+// into each shard's ring in exactly the order the serial engine would have
+// executed that work inline; the worker replays them in that order against
+// state only it touches.
+//
+// Determinism therefore does not depend on goroutine scheduling or
+// GOMAXPROCS: each bank's tracker, policy, PRNG, and ledger observe the
+// identical operation sequence as under serial execution, and the master
+// consumes shard-produced values (mitigation selections, victim lists,
+// merged statistics) only at Join/Barrier points that sit at the exact
+// position in the master loop where the serial engine performed the same
+// read. Every Result byte is consequently identical to a -shards 1 run —
+// the property internal/sim's 200-seed differential test enforces.
+//
+// Steady-state operation allocates nothing: rings are preallocated, joins
+// spin with runtime.Gosched, and replies travel through per-shard slots
+// ordered by the applied-sequence publication.
+package shard

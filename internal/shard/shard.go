@@ -1,0 +1,207 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"autorfm/internal/clk"
+)
+
+// Cmd is one deferred unit of device work, stamped with the simulation tick
+// at which the master loop issued it. The (Tick, shard, ring-position)
+// triple is the canonical order the fabric guarantees: each lane is a FIFO,
+// so a shard replays its commands in exactly the order the master enqueued
+// them — which is exactly the order the serial engine would have executed
+// the same work inline.
+type Cmd struct {
+	Op   uint8
+	Bank int32
+	Tick clk.Tick
+	Arg  uint64
+}
+
+// Apply executes one command against shard-owned state. It runs on the
+// shard's worker goroutine; it must touch only state owned by that shard.
+type Apply func(shard int, c Cmd)
+
+// lane is one shard's single-producer/single-consumer command ring plus the
+// worker's progress counters. The master is the only producer; the worker
+// goroutine is the only consumer.
+type lane struct {
+	ring []Cmd
+	mask uint64
+
+	// tail is the producer cursor: commands [head, tail) are pending.
+	// Written by the master with release semantics after the slot is
+	// filled, so the worker's acquire load sees complete commands.
+	tail atomic.Uint64
+	// head is the consumer cursor, advanced after a command is applied.
+	head atomic.Uint64
+	// applied is the number of commands fully applied, published with
+	// release semantics after all their side effects (including reply
+	// writes), so a master that observes applied >= seq may read every
+	// effect of command seq. It trails head by at most one command.
+	applied atomic.Uint64
+
+	closed atomic.Bool
+	panicV atomic.Pointer[workerPanic]
+}
+
+// workerPanic captures a worker goroutine's panic for re-raising on the
+// master goroutine at the next join, where the runner's per-job isolation
+// can catch it.
+type workerPanic struct {
+	shard int
+	val   any
+	stack []byte
+}
+
+// Group is a set of shard worker goroutines fed by per-shard SPSC command
+// rings, with deterministic join barriers. Determinism does not depend on
+// scheduling: each lane is a FIFO replayed in enqueue order, and the master
+// only reads shard-owned state after a Join/Barrier that orders it after
+// every effect it might observe.
+type Group struct {
+	lanes []*lane
+	apply Apply
+	wg    sync.WaitGroup
+
+	// sent counts commands enqueued per shard (master-side bookkeeping for
+	// the exactly-once accounting contract; see Stats).
+	sent []uint64
+
+	closeOnce sync.Once
+}
+
+// ringCap is the per-lane command capacity. It bounds how far a shard may
+// lag the master before Send backpressures; 8192 commands absorb several
+// tREFI windows of activations without the master ever blocking in steady
+// state.
+const ringCap = 8192
+
+// NewGroup starts n worker goroutines applying commands with apply.
+func NewGroup(n int, apply Apply) *Group {
+	if n < 1 {
+		panic(fmt.Sprintf("shard: group size %d < 1", n))
+	}
+	g := &Group{
+		lanes: make([]*lane, n),
+		apply: apply,
+		sent:  make([]uint64, n),
+	}
+	for i := range g.lanes {
+		g.lanes[i] = &lane{ring: make([]Cmd, ringCap), mask: ringCap - 1}
+	}
+	g.wg.Add(n)
+	for i := range g.lanes {
+		go g.work(i)
+	}
+	return g
+}
+
+// Shards returns the number of shards in the group.
+func (g *Group) Shards() int { return len(g.lanes) }
+
+// work is one shard's consumer loop: pop, apply, publish.
+func (g *Group) work(id int) {
+	defer g.wg.Done()
+	ln := g.lanes[id]
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			ln.panicV.Store(&workerPanic{shard: id, val: v, stack: buf})
+		}
+	}()
+	var head uint64
+	for {
+		tail := ln.tail.Load()
+		if head == tail {
+			if ln.closed.Load() && head == ln.tail.Load() {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		for ; head != tail; head++ {
+			c := ln.ring[head&ln.mask]
+			ln.head.Store(head + 1)
+			g.apply(id, c)
+			ln.applied.Store(head + 1)
+		}
+	}
+}
+
+// Send enqueues c on shard s and returns its sequence number (1-based count
+// of commands sent to that shard), usable with Join. It blocks only when
+// the lane is a full ring behind, and never allocates.
+func (g *Group) Send(s int, c Cmd) uint64 {
+	ln := g.lanes[s]
+	tail := ln.tail.Load()
+	for tail-ln.head.Load() >= uint64(len(ln.ring)) {
+		g.check(ln)
+		runtime.Gosched()
+	}
+	ln.ring[tail&ln.mask] = c
+	ln.tail.Store(tail + 1)
+	g.sent[s]++
+	return tail + 1
+}
+
+// Join blocks until shard s has applied command seq (and therefore every
+// command before it). On return, every side effect of those commands —
+// including reply-slot writes — is visible to the caller.
+func (g *Group) Join(s int, seq uint64) {
+	ln := g.lanes[s]
+	for ln.applied.Load() < seq {
+		g.check(ln)
+		runtime.Gosched()
+	}
+	g.check(ln)
+}
+
+// Barrier blocks until every shard has drained its lane. It is the
+// cross-shard synchronization point: afterwards the master may read any
+// shard-owned state (bank stats, tracker tables, ledgers) directly.
+func (g *Group) Barrier() {
+	for s, ln := range g.lanes {
+		g.Join(s, ln.tail.Load())
+	}
+}
+
+// check re-raises a worker panic on the calling (master) goroutine so the
+// runner's per-job panic isolation catches it with the shard's stack.
+func (g *Group) check(ln *lane) {
+	if wp := ln.panicV.Load(); wp != nil {
+		panic(fmt.Sprintf("shard: worker %d panicked: %v\n\nshard worker stack:\n%s",
+			wp.shard, wp.val, wp.stack))
+	}
+}
+
+// Close drains every lane and stops the workers. It is idempotent and safe
+// after a worker panic (dead workers are not waited on for further
+// progress; their pending commands are abandoned).
+func (g *Group) Close() {
+	g.closeOnce.Do(func() {
+		for _, ln := range g.lanes {
+			ln.closed.Store(true)
+		}
+		g.wg.Wait()
+	})
+}
+
+// Stats reports, per shard, how many commands the master enqueued and how
+// many the worker applied. After the final Barrier the two columns are
+// equal: every deferred unit of work was applied exactly once — the
+// invariant the sharded-vs-serial event-accounting test pins.
+func (g *Group) Stats() (sent, applied []uint64) {
+	sent = make([]uint64, len(g.lanes))
+	applied = make([]uint64, len(g.lanes))
+	for i, ln := range g.lanes {
+		sent[i] = g.sent[i]
+		applied[i] = ln.applied.Load()
+	}
+	return sent, applied
+}

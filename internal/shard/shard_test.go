@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"autorfm/internal/clk"
+)
+
+// TestFIFOReplayOrder pins the fabric's core contract: each shard applies
+// its commands in exactly the order the master enqueued them, regardless of
+// GOMAXPROCS or how many other shards are active.
+func TestFIFOReplayOrder(t *testing.T) {
+	const shards, per = 4, 3 * ringCap // force ring wrap + backpressure
+	got := make([][]uint64, shards)
+	g := NewGroup(shards, func(s int, c Cmd) {
+		got[s] = append(got[s], c.Arg)
+	})
+	for i := 0; i < per; i++ {
+		for s := 0; s < shards; s++ {
+			g.Send(s, Cmd{Op: 1, Bank: int32(s), Tick: clk.Tick(i), Arg: uint64(i)})
+		}
+	}
+	g.Barrier()
+	g.Close()
+	for s := 0; s < shards; s++ {
+		if len(got[s]) != per {
+			t.Fatalf("shard %d applied %d commands, want %d", s, len(got[s]), per)
+		}
+		for i, v := range got[s] {
+			if v != uint64(i) {
+				t.Fatalf("shard %d applied command %d out of order: got arg %d", s, i, v)
+			}
+		}
+	}
+}
+
+// TestJoinOrdersEffects checks that Join(s, seq) makes every side effect of
+// commands ≤ seq visible to the master, including reply-style writes made
+// by the applier.
+func TestJoinOrdersEffects(t *testing.T) {
+	var acc [2]uint64 // written only by the worker for shard 0 / shard 1
+	g := NewGroup(2, func(s int, c Cmd) {
+		acc[s] += c.Arg
+	})
+	defer g.Close()
+	var want uint64
+	var seq uint64
+	for i := 1; i <= 1000; i++ {
+		want += uint64(i)
+		seq = g.Send(0, Cmd{Arg: uint64(i)})
+	}
+	g.Join(0, seq)
+	if acc[0] != want {
+		t.Fatalf("after Join: acc=%d want %d", acc[0], want)
+	}
+	if acc[1] != 0 {
+		t.Fatalf("shard 1 ran commands it was never sent: acc=%d", acc[1])
+	}
+}
+
+// TestBarrierDrainsAllLanes checks Barrier waits on every shard.
+func TestBarrierDrainsAllLanes(t *testing.T) {
+	const shards = 8
+	var done [shards]atomic.Uint64
+	g := NewGroup(shards, func(s int, c Cmd) {
+		done[s].Add(1)
+	})
+	defer g.Close()
+	for s := 0; s < shards; s++ {
+		for i := 0; i < 100+s; i++ {
+			g.Send(s, Cmd{})
+		}
+	}
+	g.Barrier()
+	for s := 0; s < shards; s++ {
+		if n := done[s].Load(); n != uint64(100+s) {
+			t.Fatalf("shard %d: %d applied after Barrier, want %d", s, n, 100+s)
+		}
+	}
+}
+
+// TestStatsExactlyOnce pins the exactly-once accounting contract: after the
+// final barrier, applied == sent for every shard.
+func TestStatsExactlyOnce(t *testing.T) {
+	g := NewGroup(3, func(int, Cmd) {})
+	counts := []int{17, 0, ringCap + 5}
+	for s, n := range counts {
+		for i := 0; i < n; i++ {
+			g.Send(s, Cmd{})
+		}
+	}
+	g.Barrier()
+	sent, applied := g.Stats()
+	g.Close()
+	for s, n := range counts {
+		if sent[s] != uint64(n) || applied[s] != uint64(n) {
+			t.Fatalf("shard %d: sent=%d applied=%d want %d", s, sent[s], applied[s], n)
+		}
+	}
+}
+
+// TestWorkerPanicPropagates checks a panic on a shard worker re-raises on
+// the master at the next join, carrying the shard id and worker stack.
+func TestWorkerPanicPropagates(t *testing.T) {
+	g := NewGroup(2, func(s int, c Cmd) {
+		if c.Op == 99 {
+			panic("boom in applier")
+		}
+	})
+	defer g.Close()
+	seq := g.Send(1, Cmd{Op: 99})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("Join did not re-raise the worker panic")
+		}
+		msg, ok := v.(string)
+		if !ok {
+			t.Fatalf("re-raised panic has type %T, want string", v)
+		}
+		for _, frag := range []string{"worker 1", "boom in applier", "shard worker stack"} {
+			if !strings.Contains(msg, frag) {
+				t.Fatalf("re-raised panic %q missing %q", msg, frag)
+			}
+		}
+	}()
+	g.Join(1, seq)
+}
+
+// TestCloseIdempotent checks Close can be called twice (e.g. deferred plus
+// explicit) without deadlock or double-wait.
+func TestCloseIdempotent(t *testing.T) {
+	g := NewGroup(2, func(int, Cmd) {})
+	g.Send(0, Cmd{})
+	g.Close()
+	g.Close()
+}
+
+// TestSendJoinZeroAllocs extends the ZeroAllocs guards to the fabric: the
+// sharded steady state — enqueue, per-shard dispatch, and the join/barrier
+// crossing — must not allocate.
+func TestSendJoinZeroAllocs(t *testing.T) {
+	g := NewGroup(2, func(int, Cmd) {})
+	defer g.Close()
+	// Warm up past any lazy initialisation.
+	g.Send(0, Cmd{})
+	g.Send(1, Cmd{})
+	g.Barrier()
+	allocs := testing.AllocsPerRun(200, func() {
+		seq := g.Send(0, Cmd{Op: 1, Arg: 42})
+		g.Send(1, Cmd{Op: 1, Arg: 43})
+		g.Join(0, seq)
+		g.Barrier()
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded send/join/barrier allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestGOMAXPROCS1Liveness pins that the spin loops yield: with a single P,
+// a full ring must still drain (Send backpressure hands the P to the
+// worker via Gosched rather than live-locking).
+func TestGOMAXPROCS1Liveness(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	var n atomic.Uint64
+	g := NewGroup(1, func(int, Cmd) { n.Add(1) })
+	defer g.Close()
+	for i := 0; i < 4*ringCap; i++ {
+		g.Send(0, Cmd{})
+	}
+	g.Barrier()
+	if got := n.Load(); got != 4*ringCap {
+		t.Fatalf("applied %d commands, want %d", got, 4*ringCap)
+	}
+}

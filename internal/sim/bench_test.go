@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"autorfm/internal/workload"
@@ -42,4 +43,48 @@ func BenchmarkSimRun(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/sec")
+}
+
+// BenchmarkSimRunSharded is BenchmarkSimRun across -shards values: the
+// speedup curve of intra-simulation parallelism (docs/PERF.md "PR 8").
+// Results are byte-identical at every point, so the ratio against shards=1
+// is pure wall-clock; on a single-CPU machine expect the >1 points to show
+// the fabric's overhead instead of a speedup.
+func BenchmarkSimRunSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := benchConfig(b)
+			cfg.Shards = shards
+			b.ReportAllocs()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkSimRunReuse is BenchmarkSimRun through one warm Machine: the
+// multi-seed batching path (runner.Pool checks Machines out per worker), so
+// the delta against BenchmarkSimRun is what per-run construction — event
+// queue, LLC arrays, device pipelines — costs when not amortized.
+func BenchmarkSimRunReuse(b *testing.B) {
+	cfg := benchConfig(b)
+	var m Machine
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1) // distinct seeds: real work, no cached result
+		res, err := m.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"autorfm/internal/dram"
+	"autorfm/internal/fault"
+	"autorfm/internal/workload"
+)
+
+// diffProfile returns a small but representative workload for the
+// differential tests: heavy enough to exercise prefetch streams, window
+// mitigations, REFs and writebacks, short enough to run hundreds of times.
+func diffProfile(name string) workload.Profile {
+	p, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// diffConfigs is the mode/feature matrix the 200-seed differential sweeps:
+// every mitigation mode, auditing, fault injection, and both default and
+// non-default trackers — the shard ownership split differs across all of
+// them.
+func diffConfigs() []Config {
+	return []Config{
+		{Workload: diffProfile("bwaves"), InstructionsPerCore: 12_000, Mode: dram.ModeAutoRFM, TH: 4},
+		{Workload: diffProfile("lbm"), InstructionsPerCore: 12_000, Mode: dram.ModeRFM, TH: 32},
+		{Workload: diffProfile("bfs"), InstructionsPerCore: 12_000, Mode: dram.ModePRAC, PRACETh: 16},
+		{Workload: diffProfile("bwaves"), InstructionsPerCore: 12_000, Mode: dram.ModeNone},
+		{Workload: diffProfile("mcf"), InstructionsPerCore: 8_000, Mode: dram.ModeAutoRFM, TH: 4,
+			Tracker: "graphene", Policy: "recursive"},
+		{Workload: diffProfile("lbm"), InstructionsPerCore: 8_000, Mode: dram.ModeAutoRFM, TH: 4,
+			Fault: fault.Config{Seed: 7, TrackerBitFlipProb: 0.01, DropMitigationProb: 0.05}},
+	}
+}
+
+// resultBytes canonicalizes a Result for byte comparison: Shards is display
+// state, not simulation state, so it is cleared (it is excluded from JSON
+// and Key() for the same reason).
+func shardResultBytes(t *testing.T, r Result) []byte {
+	t.Helper()
+	r.Config.Shards = 0
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return b
+}
+
+// TestShardedMatchesSerialDifferential is the tentpole guard: across 200
+// seeds spread over the mode/feature matrix, a sharded run's Result is
+// byte-identical to the serial run's, at 2 and at 5 shards (5 does not
+// divide 64 banks evenly, so it exercises uneven partitions).
+func TestShardedMatchesSerialDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is long; run without -short")
+	}
+	cfgs := diffConfigs()
+	const seedsPerConfig = 34 // 6 configs x 34 seeds > 200 seed/config points
+	for ci, base := range cfgs {
+		for s := 0; s < seedsPerConfig; s++ {
+			cfg := base
+			cfg.Seed = uint64(ci*1000 + s)
+			serial, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("config %d seed %d serial: %v", ci, s, err)
+			}
+			want := shardResultBytes(t, serial)
+			for _, shards := range []int{2, 5} {
+				cfg.Shards = shards
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("config %d seed %d shards %d: %v", ci, s, shards, err)
+				}
+				if gb := shardResultBytes(t, got); string(gb) != string(want) {
+					t.Fatalf("config %d seed %d: shards=%d diverges from serial\nserial:  %s\nsharded: %s",
+						ci, s, shards, want, gb)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedMatchesSerialQuick is the -short version: one seed per config,
+// 2 shards, so plain `go test` still exercises every mode's sharded path.
+func TestShardedMatchesSerialQuick(t *testing.T) {
+	for ci, base := range diffConfigs() {
+		cfg := base
+		cfg.Seed = uint64(ci)
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("config %d serial: %v", ci, err)
+		}
+		cfg.Shards = 2
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("config %d sharded: %v", ci, err)
+		}
+		if string(shardResultBytes(t, got)) != string(shardResultBytes(t, serial)) {
+			t.Fatalf("config %d: sharded Result diverges from serial", ci)
+		}
+	}
+}
+
+// TestShardedDeterminismMatrix pins the CI determinism matrix in-process:
+// -shards {1,2,4} x GOMAXPROCS {1,4} all produce the same bytes.
+func TestShardedDeterminismMatrix(t *testing.T) {
+	base := Config{Workload: diffProfile("bwaves"), InstructionsPerCore: 15_000,
+		Mode: dram.ModeAutoRFM, TH: 4, Seed: 42}
+	var want []byte
+	oldProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(oldProcs)
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{1, 2, 4} {
+			cfg := base
+			cfg.Shards = shards
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("procs=%d shards=%d: %v", procs, shards, err)
+			}
+			got := shardResultBytes(t, r)
+			if want == nil {
+				want = got
+				continue
+			}
+			if string(got) != string(want) {
+				t.Fatalf("procs=%d shards=%d: Result diverges from the procs=%d shards=1 baseline",
+					procs, shards, oldProcs)
+			}
+		}
+	}
+}
+
+// TestShardedEventTotalsMatchSerial pins the exactly-once accounting fix:
+// Result.Events — the numerator of the expvar events-per-sec gauge — must
+// be identical under sharding (shard command application is deferred work
+// inside dispatched events, never extra dispatched events, and shard-local
+// counters are summed once at the final barrier).
+func TestShardedEventTotalsMatchSerial(t *testing.T) {
+	for _, mode := range []dram.Mode{dram.ModeAutoRFM, dram.ModePRAC} {
+		cfg := Config{Workload: diffProfile("bwaves"), InstructionsPerCore: 15_000,
+			Mode: mode, TH: 4, PRACETh: 16, Seed: 9}
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Shards = 4
+		sharded, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Events != sharded.Events {
+			t.Fatalf("mode %v: sharded Events %d != serial %d", mode, sharded.Events, serial.Events)
+		}
+		if serial.Events <= 0 {
+			t.Fatalf("mode %v: suspicious event total %d", mode, serial.Events)
+		}
+	}
+}
+
+// TestShardsValidation covers the new Config field's validation and its
+// exclusion from the memoization key.
+func TestShardsValidation(t *testing.T) {
+	base := Config{Workload: diffProfile("bwaves"), InstructionsPerCore: 1000}
+	for _, tc := range []struct {
+		shards int
+		ok     bool
+	}{{-1, false}, {0, true}, {1, true}, {2, true}, {64, true}, {65, false}} {
+		cfg := base
+		cfg.Shards = tc.shards
+		_, err := Run(cfg)
+		if tc.ok && err != nil {
+			t.Errorf("Shards=%d: unexpected error %v", tc.shards, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("Shards=%d: expected a validation error", tc.shards)
+		}
+	}
+	a, b := base, base
+	b.Shards = 4
+	if a.Key() != b.Key() {
+		t.Fatalf("Shards must not participate in Key(): %q vs %q", a.Key(), b.Key())
+	}
+	j, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Config
+	if err := json.Unmarshal(j, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Shards != 0 {
+		t.Fatalf("Shards must not round-trip through JSON, got %d", round.Shards)
+	}
+}
+
+// TestMachineReuseMatchesFresh pins the batch satellite: a Machine reused
+// across seeds — and across incompatible configs, which force a partial
+// rebuild — produces byte-identical Results to fresh construction.
+func TestMachineReuseMatchesFresh(t *testing.T) {
+	seq := []Config{
+		{Workload: diffProfile("bwaves"), InstructionsPerCore: 10_000, Mode: dram.ModeAutoRFM, TH: 4, Seed: 1},
+		{Workload: diffProfile("bwaves"), InstructionsPerCore: 10_000, Mode: dram.ModeAutoRFM, TH: 4, Seed: 2},
+		{Workload: diffProfile("lbm"), InstructionsPerCore: 10_000, Mode: dram.ModeAutoRFM, TH: 4, Seed: 3},
+		// Mode change: device reuse is incompatible, machine must rebuild.
+		{Workload: diffProfile("bwaves"), InstructionsPerCore: 10_000, Mode: dram.ModePRAC, PRACETh: 16, Seed: 4},
+		{Workload: diffProfile("bwaves"), InstructionsPerCore: 10_000, Mode: dram.ModePRAC, PRACETh: 16, Seed: 5},
+		// Back again, sharded this time: reuse composes with AttachShards.
+		{Workload: diffProfile("bwaves"), InstructionsPerCore: 10_000, Mode: dram.ModeAutoRFM, TH: 4, Seed: 6, Shards: 2},
+		{Workload: diffProfile("bwaves"), InstructionsPerCore: 10_000, Mode: dram.ModeAutoRFM, TH: 4, Seed: 7, Shards: 2},
+	}
+	var m Machine
+	for i, cfg := range seq {
+		fresh, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("step %d fresh: %v", i, err)
+		}
+		reused, err := m.Run(cfg)
+		if err != nil {
+			t.Fatalf("step %d reused: %v", i, err)
+		}
+		if string(shardResultBytes(t, reused)) != string(shardResultBytes(t, fresh)) {
+			t.Fatalf("step %d (%s seed %d): machine-reuse Result diverges from fresh",
+				i, cfg.Workload.Name, cfg.Seed)
+		}
+	}
+}
+
+// TestMachineDropsStateAfterPanic pins the poisoning contract: a run that
+// panics mid-simulation leaves the machine dirty, and the next run builds
+// fresh state rather than resuming from garbage.
+func TestMachineDropsStateAfterPanic(t *testing.T) {
+	var m Machine
+	good := Config{Workload: diffProfile("bwaves"), InstructionsPerCore: 10_000,
+		Mode: dram.ModeAutoRFM, TH: 4, Seed: 11}
+	if _, err := m.Run(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Fault = fault.Config{Seed: 3, PanicAfterActs: 50}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("fault-injected run did not panic")
+			}
+		}()
+		_, _ = m.Run(bad)
+	}()
+	fresh, err := Run(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.Run(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, fresh) {
+		t.Fatal("post-panic machine run diverges from fresh run")
+	}
+}
+
+// TestShardedWorkerPanicSurfacesOnMaster pins panic propagation end to end:
+// a fault-injected panic on a shard worker re-raises on the master
+// goroutine (where runner's per-job isolation catches it) instead of
+// killing the process from an unrecoverable goroutine.
+func TestShardedWorkerPanicSurfacesOnMaster(t *testing.T) {
+	cfg := Config{Workload: diffProfile("bwaves"), InstructionsPerCore: 10_000,
+		Mode: dram.ModeAutoRFM, TH: 4, Seed: 11, Shards: 4,
+		Fault: fault.Config{Seed: 3, PanicAfterActs: 50}}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("sharded fault-injected run did not panic on the master")
+		}
+		if s, ok := v.(string); !ok || s == "" {
+			t.Fatalf("unexpected panic payload %T: %v", v, v)
+		}
+	}()
+	_, _ = Run(cfg)
+	t.Fatal("unreachable")
+}

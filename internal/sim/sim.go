@@ -16,6 +16,7 @@ import (
 	"autorfm/internal/memctrl"
 	"autorfm/internal/mitigation"
 	"autorfm/internal/rng"
+	"autorfm/internal/shard"
 	"autorfm/internal/stats"
 	"autorfm/internal/telemetry"
 	"autorfm/internal/tracker"
@@ -63,6 +64,18 @@ type Config struct {
 	PrefetchDegree int
 	// Seed makes the whole run deterministic.
 	Seed uint64
+	// Shards, when > 1, executes the device-side bank pipeline — trackers,
+	// mitigation policies, their per-bank PRNG draws, and audit ledgers —
+	// on that many worker goroutines (internal/shard), partitioned
+	// subchannel-first over the banks. The master event loop stays
+	// byte-for-byte serial and consumes shard-produced values only at
+	// deterministic join points, so the Result is byte-identical to a
+	// serial run at any GOMAXPROCS (pinned by the 200-seed differential
+	// test). Because the output is identical, Shards — like Telemetry — is
+	// excluded from Key() and from JSON: a sharded run may reuse a cached
+	// serial Result and vice versa. 0 and 1 both select the serial path,
+	// byte-for-byte untouched.
+	Shards int `json:"-"`
 	// Fault configures deterministic fault injection on the tracker and
 	// mitigation-delivery path (see internal/fault). The zero value injects
 	// nothing; a non-zero config participates in the memoization key, so a
@@ -235,6 +248,9 @@ func (c *Config) validate() error {
 	if c.RAAMaxFactor < 0 {
 		return fmt.Errorf("sim: negative RAA ceiling factor %d", c.RAAMaxFactor)
 	}
+	if banks := mapping.Default().Banks; c.Shards < 0 || c.Shards > banks {
+		return fmt.Errorf("sim: shard count %d outside [0, %d]", c.Shards, banks)
+	}
 	w := c.Workload
 	if math.IsNaN(w.MemPKI) || w.MemPKI <= 0 || w.MemPKI > 1000 {
 		return fmt.Errorf("sim: workload %q MemPKI %v outside (0, 1000]", w.Name, w.MemPKI)
@@ -317,6 +333,37 @@ func Run(cfg Config) (Result, error) {
 // instead of running to completion. A cancelled run returns no partial
 // Result — determinism is per complete run.
 func RunCtx(ctx context.Context, cfg Config) (Result, error) {
+	var m Machine
+	return m.RunCtx(ctx, cfg)
+}
+
+// Machine is a reusable simulation allocation: the event queue, the LLC's
+// structure-of-arrays state, and the DRAM device's largest arrays (PRAC
+// counters, audit ledgers) survive from run to run and are Reset instead of
+// reconstructed. Batch sweeps that run many seeds of one configuration
+// (fig1d-style) avoid rebuilding ~3MB of state per run; a Machine run is
+// byte-identical to a fresh Run (pinned by TestMachineReuseMatchesFresh).
+//
+// The zero value is ready to use; each Run warms it further. A Machine is
+// not safe for concurrent use — give each worker goroutine its own.
+type Machine struct {
+	q      *event.Queue
+	llc    *cache.Cache
+	llcCfg cache.Config
+	dev    *dram.Device
+	// dirty marks a run in flight; if a run panics or is cancelled the warm
+	// state is mid-run garbage, so the next Run drops it and builds fresh.
+	dirty bool
+}
+
+// Run executes one configuration on the machine, reusing its warm state.
+func (m *Machine) Run(cfg Config) (Result, error) {
+	return m.RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run on the machine with cooperative cancellation (see the
+// package-level RunCtx).
+func (m *Machine) RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	cfg.fillDefaults()
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
@@ -426,8 +473,35 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		}
 	}
 
-	dev := dram.NewDevice(dcfg)
-	q := &event.Queue{}
+	// From here on the machine's warm state is mutated: mark the run in
+	// flight so a panicking or cancelled run poisons the reuse path, and
+	// drop state a previous failed run left behind.
+	if m.dirty {
+		m.q, m.llc, m.dev = nil, nil, nil
+	}
+	m.dirty = true
+	var dev *dram.Device
+	if m.dev != nil && m.dev.Reset(dcfg) {
+		dev = m.dev
+	} else {
+		dev = dram.NewDevice(dcfg)
+		m.dev = dev
+	}
+	q := m.q
+	if q == nil {
+		q = &event.Queue{}
+		m.q = q
+	} else {
+		q.Reset()
+	}
+	var grp *shard.Group
+	if cfg.Shards > 1 {
+		grp = dev.AttachShards(cfg.Shards)
+		defer func() {
+			grp.Close()
+			dev.DetachShards()
+		}()
+	}
 	mcCfg := memctrl.Config{Timing: timing, Mapper: mapper, RFMTH: cfg.TH,
 		RAAMaxFactor: cfg.RAAMaxFactor, Trace: trace}
 	if cfg.RetryWaitNS > 0 {
@@ -474,7 +548,14 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	} else if cfg.PrefetchDegree < 0 {
 		llcCfg.PrefetchDegree = 0
 	}
-	llc := cache.New(llcCfg, mc, q)
+	var llc *cache.Cache
+	if m.llc != nil && m.llcCfg == llcCfg {
+		llc = m.llc
+		llc.Reset(mc)
+	} else {
+		llc = cache.New(llcCfg, mc, q)
+		m.llc, m.llcCfg = llc, llcCfg
+	}
 	prewarm(llc, llcCfg, cfg)
 
 	// remaining counts unfinished cores; each core decrements it exactly
@@ -516,6 +597,21 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	if cancelled {
 		return Result{}, fmt.Errorf("sim: run cancelled at t=%v: %w", q.Now(), ctx.Err())
 	}
+	if grp != nil {
+		// Final barrier: every deferred device command is applied before
+		// any Result field is assembled, and applied exactly once — the
+		// event/work accounting below sums each shard-local counter at this
+		// single point, never per-epoch (epoch snapshots barrier without
+		// consuming the counters).
+		grp.Barrier()
+		sent, applied := grp.Stats()
+		for s := range sent {
+			if sent[s] != applied[s] {
+				return Result{}, fmt.Errorf("sim: shard %d accounting mismatch: %d commands sent, %d applied",
+					s, sent[s], applied[s])
+			}
+		}
+	}
 	if sampler != nil {
 		// Close the stream: the final partial epoch (if anything happened
 		// after the last boundary) and the run-level summary.
@@ -540,6 +636,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 			res.Elapsed = c.FinishTime
 		}
 	}
+	m.dirty = false
 	return res, nil
 }
 
@@ -579,6 +676,22 @@ func prewarm(llc *cache.Cache, llcCfg cache.Config, cfg Config) int {
 	wr := rng.New(cfg.Seed ^ 0x3a3a)
 	totalLines := llcCfg.SizeBytes / llcCfg.LineBytes
 	fpLines := uint64(cfg.Workload.FootprintMB) * (1 << 20) / 64
+	if cfg.Shards > 1 {
+		// Sharded runs spread the warm scans — ~20% of a short run's wall
+		// time — across the shard count: the PRNG draws are made serially
+		// (they are a strict sequence), then WarmBatch partitions the cache
+		// by set and applies each entry with the LRU stamp the serial loop
+		// would have used, so the warmed state is byte-identical.
+		lines := make([]uint64, totalLines)
+		dirty := make([]bool, totalLines)
+		for i := range lines {
+			core := i % cfg.Cores
+			lines[i] = uint64(core)*fpLines + uint64(wr.Int63n(int64(fpLines)))
+			dirty[i] = wr.Bernoulli(cfg.Workload.WriteFrac)
+		}
+		llc.WarmBatch(lines, dirty, cfg.Shards)
+		return totalLines
+	}
 	for i := 0; i < totalLines; i++ {
 		core := i % cfg.Cores
 		line := uint64(core)*fpLines + uint64(wr.Int63n(int64(fpLines)))
