@@ -54,9 +54,11 @@ type benchReport struct {
 	Go     string `json:"go"`
 	Scale  string `json:"scale"`
 	Jobs   int    `json:"jobs"`
-	// Shards is the -shards value of a sharded invocation; omitted for
-	// serial runs so historical serial reports keep their exact shape.
+	// Shards/Batch are the -shards / -batch values of a sharded or
+	// lane-batched invocation; omitted for serial runs so historical serial
+	// reports keep their exact shape.
 	Shards      int               `json:"shards,omitempty"`
+	Batch       int               `json:"batch,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
 	Total       benchExperiment   `json:"total"`
 	// PeakHeapBytes is the heap footprint the run reached: HeapSys (bytes
@@ -101,15 +103,19 @@ func benchDelta(id string, wall time.Duration, pre, post benchCounters) benchExp
 }
 
 // benchID labels a -benchjson experiment row. Sharded invocations get a
-// "#shards=N" suffix so their rows form a separate benchmark series: the
-// suffix keeps them from colliding with the serial series a committed
-// BENCH_*.json baseline pins, and cmd/benchdiff renders suffixed IDs as
-// informational — compared when the baseline has the matching series (or,
-// failing that, against the serial row of the same experiment) but never a
-// regression failure.
-func benchID(id string, shards int) string {
+// "#shards=N" suffix and lane-batched invocations a "#batch=N" suffix (an
+// invocation using both stacks them) so their rows form separate benchmark
+// series: the suffix keeps them from colliding with the serial series a
+// committed BENCH_*.json baseline pins, and cmd/benchdiff renders suffixed
+// IDs as informational — compared when the baseline has the matching series
+// (or, failing that, against the serial row of the same experiment) but
+// never a regression failure.
+func benchID(id string, shards, batch int) string {
 	if shards > 1 {
-		return fmt.Sprintf("%s#shards=%d", id, shards)
+		id = fmt.Sprintf("%s#shards=%d", id, shards)
+	}
+	if batch > 1 {
+		id = fmt.Sprintf("%s#batch=%d", id, batch)
 	}
 	return id
 }
@@ -127,6 +133,7 @@ func run() int {
 		seed    = flag.Uint64("seed", 1, "seed")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
 		shards  = flag.Int("shards", 1, "intra-simulation shard goroutines per job (1 = serial; results are byte-identical at any value, so it composes with -resume and the result cache)")
+		batch   = flag.Int("batch", 1, "lane-batch width: the pool groups this many pending seeds of one configuration into a single machine run (1 = serial; per-seed results are byte-identical at any value)")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress line")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		listPl  = flag.Bool("list-plugins", false, "list registered trackers, policies and fault injectors and exit")
@@ -210,6 +217,7 @@ func run() int {
 	}
 	sc.Seed = *seed
 	sc.Shards = *shards
+	sc.Batch = *batch
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -404,7 +412,7 @@ func run() int {
 			failed++
 			continue
 		}
-		benchRows = append(benchRows, benchDelta(benchID(e.ID, *shards), time.Since(start), pre, readBenchCounters(pool)))
+		benchRows = append(benchRows, benchDelta(benchID(e.ID, *shards, *batch), time.Since(start), pre, readBenchCounters(pool)))
 		fmt.Println(res)
 		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		if rep != nil {
@@ -438,11 +446,14 @@ func run() int {
 			Scale:         *scale,
 			Jobs:          pool.Workers(),
 			Experiments:   benchRows,
-			Total:         benchDelta(benchID("total", *shards), time.Since(benchStart), benchPre, readBenchCounters(pool)),
+			Total:         benchDelta(benchID("total", *shards, *batch), time.Since(benchStart), benchPre, readBenchCounters(pool)),
 			PeakHeapBytes: ms.HeapSys,
 		}
 		if *shards > 1 {
 			rep.Shards = *shards // serial reports keep their historical shape
+		}
+		if *batch > 1 {
+			rep.Batch = *batch
 		}
 		rep.TotalEventsPerSec = rep.Total.EventsPerSec
 		buf, err := json.MarshalIndent(rep, "", "  ")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -45,6 +46,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		jobs    = flag.Int("j", runtime.NumCPU(), "parallel simulation workers (the test and baseline runs overlap)")
 		shards  = flag.Int("shards", 1, "intra-simulation parallelism: device-pipeline shard goroutines per run (1 = serial; output is byte-identical at any value)")
+		batch   = flag.Int("batch", 1, "run B seeds (seed..seed+B-1) of the configuration, lane-batched B seeds per machine run; per-seed results are byte-identical to serial (incompatible with -metrics/-trace/-replay)")
 		noBase  = flag.Bool("nobaseline", false, "skip the baseline run (no slowdown reported)")
 		storeP  = flag.String("store", "", "content-addressed result store file: serve previously completed configurations from it and add new ones (shared with autorfm-coord -store)")
 		list    = flag.Bool("list", false, "list workloads and exit")
@@ -124,6 +126,13 @@ func main() {
 		InstructionsPerCore: *instr,
 		Seed:                *seed,
 		Shards:              *shards,
+		Batch:               *batch,
+	}
+	if *batch > 1 && (*metrics != "" || *traceOut != "" || *replay != "") {
+		// Telemetry probes and replay streams are per-run state; a batched
+		// machine run is shared across seeds and cannot carry them.
+		fmt.Fprintln(os.Stderr, "-batch > 1 is incompatible with -metrics, -trace and -replay")
+		os.Exit(1)
 	}
 	if *faults != "" {
 		if err := fault.ApplySpec(*faults, &scfg.Fault); err != nil {
@@ -209,12 +218,29 @@ func main() {
 		}
 		pool.WriteCheckpoints(store.CheckpointWriter())
 	}
-	todo := []sim.Config{scfg}
+	// One job per seed: -batch widens the seed range, and the pool groups
+	// the family's pending seeds into lane-batched machine runs. The
+	// mitigated seeds come first, then (unless suppressed) the matching
+	// no-mitigation baselines — a separate config family that batches among
+	// itself.
+	nSeeds := *batch
+	if nSeeds < 1 {
+		nSeeds = 1
+	}
+	var todo []sim.Config
+	for b := 0; b < nSeeds; b++ {
+		c := scfg
+		c.Seed = *seed + uint64(b)
+		todo = append(todo, c)
+	}
 	wantBase := !*noBase && mode != autorfm.None
 	if wantBase {
-		bcfg := scfg
-		bcfg.Mode = dram.ModeNone
-		todo = append(todo, bcfg)
+		for b := 0; b < nSeeds; b++ {
+			bcfg := scfg
+			bcfg.Mode = dram.ModeNone
+			bcfg.Seed = *seed + uint64(b)
+			todo = append(todo, bcfg)
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -247,7 +273,23 @@ func main() {
 
 	if wantBase {
 		fmt.Printf("slowdown      %.2f%% vs no-mitigation baseline\n",
-			sim.Slowdown(results[1], res))
+			sim.Slowdown(results[nSeeds], res))
+	}
+	if nSeeds > 1 {
+		// Per-seed spread across the batch: the headline numbers above are
+		// the first seed's; the mean +/- stddev shows seed sensitivity.
+		mean, sd := meanStddev(results[:nSeeds], func(r sim.Result) float64 { return r.ACTPKI() })
+		fmt.Printf("batch         %d seeds (%d..%d): ACT-PKI %.1f ± %.1f",
+			nSeeds, *seed, *seed+uint64(nSeeds)-1, mean, sd)
+		if wantBase {
+			slow := make([]float64, nSeeds)
+			for i := range slow {
+				slow[i] = sim.Slowdown(results[nSeeds+i], results[i])
+			}
+			mean, sd = meanStddevF(slow)
+			fmt.Printf("   slowdown %.2f%% ± %.2f%%", mean, sd)
+		}
+		fmt.Println()
 	}
 
 	if sink != nil {
@@ -278,4 +320,26 @@ func main() {
 		fmt.Printf("trace         %d commands to %s (%d dropped by ring wrap)\n",
 			cmdTrace.Len(), *traceOut, cmdTrace.Dropped())
 	}
+}
+
+// meanStddev reduces one metric over a slice of results to its mean and
+// population standard deviation.
+func meanStddev(rs []sim.Result, metric func(sim.Result) float64) (mean, sd float64) {
+	vs := make([]float64, len(rs))
+	for i, r := range rs {
+		vs[i] = metric(r)
+	}
+	return meanStddevF(vs)
+}
+
+func meanStddevF(vs []float64) (mean, sd float64) {
+	for _, v := range vs {
+		mean += v
+	}
+	mean /= float64(len(vs))
+	for _, v := range vs {
+		d := v - mean
+		sd += d * d
+	}
+	return mean, math.Sqrt(sd / float64(len(vs)))
 }

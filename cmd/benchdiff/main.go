@@ -33,18 +33,33 @@ var knownSchemas = map[string]bool{
 	"autorfm-bench/v2": true,
 }
 
-// shardedBase splits the "#shards=N" suffix autorfm-bench stamps on the rows
-// of a sharded invocation (e.g. "fig3#shards=4" → "fig3", true). Sharded rows
-// form an informational series: they are compared — against the baseline's
-// matching sharded series when it has one, else against the serial row of the
-// same experiment — but never fail the diff, and they never consume a serial
-// baseline row, so committed serial baselines keep gating the serial series
-// exactly as before.
-func shardedBase(id string) (string, bool) {
-	if i := strings.Index(id, "#shards="); i >= 0 {
-		return id[:i], true
+// seriesBase splits the "#shards=N" / "#batch=N" suffixes autorfm-bench
+// stamps on the rows of a sharded or lane-batched invocation (e.g.
+// "fig3#shards=4" → "fig3", "sharded"; "fig3#batch=4" → "fig3", "batched";
+// an invocation using both stacks the suffixes → "sharded+batched"). Rows
+// with a non-empty kind form informational series: they are compared —
+// against the baseline's matching series when it has one, else against the
+// serial row of the same experiment — but never fail the diff, and they
+// never consume a serial baseline row, so committed serial baselines keep
+// gating the serial series exactly as before. An unrecognized "#..." suffix
+// stays part of the gated id.
+func seriesBase(id string) (base, kind string) {
+	i := strings.IndexByte(id, '#')
+	if i < 0 {
+		return id, ""
 	}
-	return id, false
+	suffix := id[i:]
+	var kinds []string
+	if strings.Contains(suffix, "#shards=") {
+		kinds = append(kinds, "sharded")
+	}
+	if strings.Contains(suffix, "#batch=") {
+		kinds = append(kinds, "batched")
+	}
+	if len(kinds) == 0 {
+		return id, ""
+	}
+	return id[:i], strings.Join(kinds, "+")
 }
 
 func load(path string) (*report, error) {
@@ -93,10 +108,10 @@ func main() {
 }
 
 // diff renders the per-experiment comparison to w and reports whether any
-// gated (serial) series regressed beyond tolerance. Sharded rows — IDs with
-// the "#shards=N" suffix — are informational: displayed with their delta but
-// never a failure, and never consuming the serial baseline row they may fall
-// back to.
+// gated (serial) series regressed beyond tolerance. Sharded and batched rows
+// — IDs with a "#shards=N" or "#batch=N" suffix — are informational:
+// displayed with their delta but never a failure, and never consuming the
+// serial baseline row they may fall back to.
 func diff(w io.Writer, base, fresh *report, tolerance float64, minWall time.Duration) (failed bool) {
 	// baseline is consumed as rows match (leftovers report "only in
 	// baseline"); every lookup the sharded fallback makes goes through the
@@ -113,21 +128,22 @@ func diff(w io.Writer, base, fresh *report, tolerance float64, minWall time.Dura
 
 	fmt.Fprintf(w, "%-16s %14s %14s %9s\n", "exp", "base(ms)", "fresh(ms)", "delta")
 	for _, e := range fresh.Experiments {
-		baseID, sharded := shardedBase(e.ID)
+		baseID, kind := seriesBase(e.ID)
+		informational := kind != ""
 		bNS, ok := baseline[e.ID]
 		mark := ""
 		switch {
 		case ok:
 			delete(baseline, e.ID)
-			if sharded {
-				mark = "  (sharded)"
+			if informational {
+				mark = "  (" + kind + ")"
 			}
-		case sharded:
-			// No committed sharded series: fall back, informationally, to
-			// the serial row of the same experiment — without consuming it,
-			// so the fresh serial row still gets its gated comparison.
+		case informational:
+			// No committed series of this kind: fall back, informationally,
+			// to the serial row of the same experiment — without consuming
+			// it, so the fresh serial row still gets its gated comparison.
 			if bNS, ok = immutable[baseID]; ok {
-				mark = "  (sharded vs serial)"
+				mark = "  (" + kind + " vs serial)"
 			}
 		}
 		if !ok {
@@ -135,7 +151,7 @@ func diff(w io.Writer, base, fresh *report, tolerance float64, minWall time.Dura
 			continue
 		}
 		delta := float64(e.WallNS-bNS) / float64(bNS)
-		if !sharded {
+		if !informational {
 			switch {
 			case delta <= tolerance:
 			case bNS < minWall.Nanoseconds() && e.WallNS < minWall.Nanoseconds():

@@ -6,22 +6,26 @@ import (
 	"time"
 )
 
-func TestShardedBase(t *testing.T) {
+func TestSeriesBase(t *testing.T) {
 	cases := []struct {
-		id      string
-		base    string
-		sharded bool
+		id   string
+		base string
+		kind string
 	}{
-		{"fig3", "fig3", false},
-		{"fig3#shards=4", "fig3", true},
-		{"total#shards=2", "total", true},
-		{"weird#shards=", "weird", true},
+		{"fig3", "fig3", ""},
+		{"fig3#shards=4", "fig3", "sharded"},
+		{"total#shards=2", "total", "sharded"},
+		{"weird#shards=", "weird", "sharded"},
+		{"fig3#batch=4", "fig3", "batched"},
+		{"total#batch=2", "total", "batched"},
+		{"fig3#shards=2#batch=4", "fig3", "sharded+batched"},
+		{"odd#mystery=1", "odd#mystery=1", ""},
 	}
 	for _, c := range cases {
-		base, sharded := shardedBase(c.id)
-		if base != c.base || sharded != c.sharded {
-			t.Errorf("shardedBase(%q) = (%q, %v), want (%q, %v)",
-				c.id, base, sharded, c.base, c.sharded)
+		base, kind := seriesBase(c.id)
+		if base != c.base || kind != c.kind {
+			t.Errorf("seriesBase(%q) = (%q, %q), want (%q, %q)",
+				c.id, base, kind, c.base, c.kind)
 		}
 	}
 }
@@ -61,5 +65,34 @@ func TestDiffShardedSeriesInformational(t *testing.T) {
 	out.Reset()
 	if !diff(&out, base, fresh, 0.25, 50*time.Millisecond) {
 		t.Fatalf("serial regression not flagged:\n%s", out.String())
+	}
+}
+
+// TestDiffBatchedSeriesInformational mirrors the sharded-series contract for
+// the "#batch=N" series a lane-batched autorfm-bench invocation stamps.
+func TestDiffBatchedSeriesInformational(t *testing.T) {
+	ms := int64(time.Millisecond)
+	base := &report{Experiments: []experiment{
+		{ID: "fig3", WallNS: 1000 * ms},
+		{ID: "tab5#batch=4", WallNS: 400 * ms},
+	}}
+	fresh := &report{Experiments: []experiment{
+		{ID: "fig3", WallNS: 1000 * ms},
+		{ID: "fig3#batch=4", WallNS: 5000 * ms},          // serial fallback, slower: informational
+		{ID: "tab5#batch=4", WallNS: 900 * ms},           // vs its own series: informational
+		{ID: "fig3#shards=2#batch=4", WallNS: 5000 * ms}, // stacked series, serial fallback
+	}}
+	var out strings.Builder
+	if diff(&out, base, fresh, 0.25, 50*time.Millisecond) {
+		t.Fatalf("batched slowdowns failed the diff:\n%s", out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"(batched vs serial)", "(batched)", "(sharded+batched vs serial)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "REGRESSED") || strings.Contains(s, "only in baseline") {
+		t.Errorf("batched rows mis-gated or serial baseline consumed:\n%s", s)
 	}
 }

@@ -10,7 +10,7 @@ import (
 	"autorfm/internal/memctrl"
 )
 
-func newRig(t *testing.T, cfg Config) (*Cache, *memctrl.Controller, *event.Queue) {
+func newRig(t testing.TB, cfg Config) (*Cache, *memctrl.Controller, *event.Queue) {
 	t.Helper()
 	geo := mapping.Default()
 	dev := dram.NewDevice(dram.Config{Geo: geo, Timing: clk.DDR5(), Mode: dram.ModeNone, Seed: 1})

@@ -1,0 +1,238 @@
+package cache
+
+// Open-addressed replacements for the two miss-path maps. Every demand miss
+// consults the MSHR table once and (with prefetching on) the recent-miss
+// set three times; at ultra-low thresholds the simulator dispatches tens of
+// millions of misses per sweep, and the generic map's hashing and bucket
+// machinery was a measurable slice of the event loop. Both tables use
+// linear probing with multiplicative hashing and backward-shift deletion,
+// so there are no tombstones and lookups stay one cache line for the
+// typical occupancy (a handful of in-flight fills; a quarter-loaded recency
+// window).
+
+// lineHash spreads line addresses multiplicatively; the high bits index the
+// table (the low bits of a Fibonacci product are weak).
+const lineHashK = 0x9e3779b97f4a7c15
+
+// mshrTable maps outstanding-fill line addresses to their MSHRs. The zero
+// value is ready to use; it grows by doubling at 50% load.
+type mshrTable struct {
+	slots []*mshr
+	mask  uint64
+	shift uint
+	n     int
+}
+
+func (t *mshrTable) home(line uint64) uint64 {
+	return (line * lineHashK) >> t.shift & t.mask
+}
+
+// get returns the MSHR outstanding for line, or nil.
+func (t *mshrTable) get(line uint64) *mshr {
+	if t.n == 0 {
+		return nil
+	}
+	for i := t.home(line); ; i = (i + 1) & t.mask {
+		m := t.slots[i]
+		if m == nil {
+			return nil
+		}
+		if m.line == line {
+			return m
+		}
+	}
+}
+
+// put inserts m under m.line. The line must not already be present (both
+// callers do a get first).
+func (t *mshrTable) put(m *mshr) {
+	if 2*(t.n+1) > len(t.slots) {
+		t.grow()
+	}
+	i := t.home(m.line)
+	for t.slots[i] != nil {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = m
+	t.n++
+}
+
+// del removes the entry for line (a no-op if absent), backward-shifting the
+// probe chain so it stays contiguous without tombstones: each subsequent
+// entry moves into the hole iff its probe distance reaches back to it.
+func (t *mshrTable) del(line uint64) {
+	if t.n == 0 {
+		return
+	}
+	i := t.home(line)
+	for {
+		m := t.slots[i]
+		if m == nil {
+			return
+		}
+		if m.line == line {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		m := t.slots[j]
+		if m == nil {
+			break
+		}
+		if (j-t.home(m.line))&t.mask >= (j-i)&t.mask {
+			t.slots[i] = m
+			i = j
+		}
+	}
+	t.slots[i] = nil
+	t.n--
+}
+
+// drain empties the table, invoking f on each entry in slot order. (Entry
+// order is immaterial to callers: the one drain site recycles MSHRs onto
+// the free list, and MSHRs are interchangeable.)
+func (t *mshrTable) drain(f func(*mshr)) {
+	if t.n == 0 {
+		return
+	}
+	for i, m := range t.slots {
+		if m != nil {
+			t.slots[i] = nil
+			f(m)
+		}
+	}
+	t.n = 0
+}
+
+func (t *mshrTable) grow() {
+	old := t.slots
+	size := 2 * len(old)
+	if size == 0 {
+		size = 64
+	}
+	t.slots = make([]*mshr, size)
+	t.mask = uint64(size - 1)
+	t.shift = 64 - log2u(size)
+	for _, m := range old {
+		if m == nil {
+			continue
+		}
+		i := t.home(m.line)
+		for t.slots[i] != nil {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = m
+	}
+}
+
+// lineSet is a fixed-capacity set of line addresses for the prefetcher's
+// recency window. It is sized at 4x recentCap, so the load factor never
+// exceeds 25% and probe chains stay short. Slots store line+1 with 0 as
+// the empty sentinel; membership probes may ask about any value (including
+// the wrapped line-1 of line 0), but only real line addresses (far below
+// 2^64-1) are ever inserted.
+type lineSet struct {
+	slots []uint64
+	mask  uint64
+	shift uint
+}
+
+const lineSetSize = 4 * recentCap
+
+func (s *lineSet) home(line uint64) uint64 {
+	return (line * lineHashK) >> s.shift & s.mask
+}
+
+// has reports membership.
+func (s *lineSet) has(line uint64) bool {
+	if s.slots == nil {
+		return false
+	}
+	k := line + 1
+	for i := s.home(line); ; i = (i + 1) & s.mask {
+		v := s.slots[i]
+		if v == 0 {
+			return false
+		}
+		if v == k {
+			return true
+		}
+	}
+}
+
+// add inserts line; duplicates are a no-op, exactly like a map-set insert.
+// The caller bounds live membership (recentCap distinct lines), so the set
+// never fills.
+func (s *lineSet) add(line uint64) {
+	if s.slots == nil {
+		s.slots = make([]uint64, lineSetSize)
+		s.mask = lineSetSize - 1
+		s.shift = 64 - log2u(lineSetSize)
+	}
+	k := line + 1
+	i := s.home(line)
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			s.slots[i] = k
+			return
+		}
+		if v == k {
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// del removes line (a no-op if absent), with the same backward-shift chain
+// repair as mshrTable.del.
+func (s *lineSet) del(line uint64) {
+	if s.slots == nil {
+		return
+	}
+	k := line + 1
+	i := s.home(line)
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			return
+		}
+		if v == k {
+			break
+		}
+		i = (i + 1) & s.mask
+	}
+	j := i
+	for {
+		j = (j + 1) & s.mask
+		v := s.slots[j]
+		if v == 0 {
+			break
+		}
+		if (j-s.home(v-1))&s.mask >= (j-i)&s.mask {
+			s.slots[i] = v
+			i = j
+		}
+	}
+	s.slots[i] = 0
+}
+
+// clear empties the set.
+func (s *lineSet) clear() {
+	for i := range s.slots {
+		s.slots[i] = 0
+	}
+}
+
+// log2u returns log2 of a power-of-two size.
+func log2u(size int) uint {
+	n := uint(0)
+	for size > 1 {
+		size >>= 1
+		n++
+	}
+	return n
+}

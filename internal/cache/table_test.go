@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"testing"
+
+	"autorfm/internal/rng"
+)
+
+// TestMSHRTableMatchesMap drives the open-addressed MSHR table and a map
+// reference with the same randomized get/put/del mix and requires identical
+// membership throughout. Keys cluster in a small range so probe chains
+// collide, grow triggers, and backward-shift deletion runs against chains
+// that actually wrapped.
+func TestMSHRTableMatchesMap(t *testing.T) {
+	r := rng.New(41)
+	var tab mshrTable
+	ref := map[uint64]*mshr{}
+	for i := 0; i < 200_000; i++ {
+		line := uint64(r.Int63n(300))
+		switch r.Intn(3) {
+		case 0: // put if absent
+			if _, ok := ref[line]; !ok {
+				m := &mshr{line: line}
+				ref[line] = m
+				tab.put(m)
+			}
+		case 1: // del
+			delete(ref, line)
+			tab.del(line)
+		case 2: // get
+		}
+		if got := tab.get(line); got != ref[line] {
+			t.Fatalf("step %d: get(%d) = %p, reference %p", i, line, got, ref[line])
+		}
+		if tab.n != len(ref) {
+			t.Fatalf("step %d: table count %d, reference %d", i, tab.n, len(ref))
+		}
+	}
+	drained := 0
+	tab.drain(func(*mshr) { drained++ })
+	if drained != len(ref) || tab.n != 0 {
+		t.Fatalf("drain visited %d entries, want %d (n=%d after)", drained, len(ref), tab.n)
+	}
+	if tab.get(1) != nil {
+		t.Fatal("drained table still reports membership")
+	}
+}
+
+// TestLineSetMatchesMap drives lineSet and a map-set reference with the
+// same randomized has/add/del mix, again over a colliding key range. The
+// occupancy is held under recentCap like the real caller (the prefetch
+// recency ring) guarantees.
+func TestLineSetMatchesMap(t *testing.T) {
+	r := rng.New(42)
+	var set lineSet
+	ref := map[uint64]struct{}{}
+	live := make([]uint64, 0, recentCap)
+	for i := 0; i < 200_000; i++ {
+		line := uint64(r.Int63n(2 * recentCap))
+		switch r.Intn(3) {
+		case 0:
+			if len(ref) < recentCap {
+				if _, ok := ref[line]; !ok {
+					live = append(live, line)
+				}
+				ref[line] = struct{}{}
+				set.add(line)
+			}
+		case 1:
+			if len(live) > 0 {
+				k := live[r.Intn(len(live))]
+				delete(ref, k)
+				set.del(k)
+				for j, v := range live {
+					if v == k {
+						live = append(live[:j], live[j+1:]...)
+						break
+					}
+				}
+			}
+		case 2:
+		}
+		_, want := ref[line]
+		if got := set.has(line); got != want {
+			t.Fatalf("step %d: has(%d) = %v, reference %v", i, line, got, want)
+		}
+	}
+	set.clear()
+	for _, k := range live {
+		if set.has(k) {
+			t.Fatalf("clear left %d in the set", k)
+		}
+	}
+}

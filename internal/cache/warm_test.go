@@ -88,7 +88,12 @@ func TestResetMatchesFresh(t *testing.T) {
 	if used.Stats != (Stats{}) {
 		t.Fatalf("Reset left stats %+v", used.Stats)
 	}
-	if len(used.out) != 0 || len(used.recent) != 0 || used.recentN != 0 {
+	if used.out.n != 0 || used.recentN != 0 {
 		t.Fatal("Reset left outstanding-fill or stream-detector state")
+	}
+	for _, v := range used.recent.slots {
+		if v != 0 {
+			t.Fatal("Reset left stream-detector set entries")
+		}
 	}
 }

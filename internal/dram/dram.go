@@ -3,6 +3,7 @@ package dram
 import (
 	"fmt"
 
+	"autorfm/internal/arena"
 	"autorfm/internal/clk"
 	"autorfm/internal/mapping"
 	"autorfm/internal/mitigation"
@@ -73,6 +74,20 @@ type Config struct {
 	// Trace, when non-nil, receives the device-side mitigation windows
 	// (telemetry; observational only).
 	Trace *telemetry.CommandTrace
+	// ScratchVictims reuses a per-bank buffer for the policy's victim list
+	// (mitigation.VictimAppender) instead of allocating per mitigation.
+	// Victim lists are consumed synchronously inside mitigate, so reuse is
+	// invisible; results stay byte-identical because AppendVictims consumes
+	// exactly the PRNG draws Victims would. The batched lane path
+	// (sim.RunBatch) sets it; the serial path stays the frozen allocating
+	// reference, exactly like the WarmBatch/WarmAll split.
+	ScratchVictims bool
+	// Arena, when non-nil, is where buildPipeline carves its per-bank
+	// pipeline state — tracker tables, victim buffers, PRNGs — instead of
+	// the heap. The arena is reset and re-carved on every Device Reset
+	// (pipelines are rebuilt wholesale there), which lays every lane's
+	// tables out contiguously and makes repeated Resets allocation-free.
+	Arena *arena.Arena
 }
 
 func (c *Config) fillDefaults() {
@@ -128,6 +143,14 @@ type Bank struct {
 	policy mitigation.Policy
 	r      *rng.Source
 
+	// va and victimBuf form the allocation-free victim path (see
+	// Config.ScratchVictims): va is the policy's VictimAppender when
+	// scratch mode is on and the policy supports it, and victimBuf is the
+	// per-bank buffer it appends into. Victim lists are consumed
+	// synchronously inside mitigate, so one buffer per bank suffices.
+	va        mitigation.VictimAppender
+	victimBuf []uint32
+
 	// AutoRFM window state.
 	actsInWindow int
 	pendingMit   bool
@@ -162,6 +185,9 @@ type Device struct {
 // NewDevice builds the device: one tracker, policy and PRNG per bank.
 func NewDevice(cfg Config) *Device {
 	cfg.fillDefaults()
+	if cfg.Arena != nil {
+		cfg.Arena.Reset()
+	}
 	d := &Device{Cfg: cfg}
 	d.Banks = make([]*Bank, cfg.Geo.Banks)
 	for i := range d.Banks {
@@ -182,7 +208,7 @@ func NewDevice(cfg Config) *Device {
 // policy, tracker — and zeroes the per-run scalar state. It is the shared
 // core of NewDevice and Reset: both produce bit-identical bank state.
 func (b *Bank) buildPipeline(cfg *Config) {
-	r := rng.New(cfg.Seed ^ (0xb1a5ed<<16 + uint64(b.ID)*0x9e37))
+	r := arena.Source(cfg.Arena, cfg.Seed^(0xb1a5ed<<16+uint64(b.ID)*0x9e37))
 	pol := cfg.NewPolicy(b.ID, r)
 	trk := cfg.NewTracker(b.ID, r)
 	// If the policy is recursive and the default MINT tracker is in
@@ -191,6 +217,15 @@ func (b *Bank) buildPipeline(cfg *Config) {
 		trk = tracker.NewMINT(cfg.TH, true, r)
 	}
 	b.trk, b.policy, b.r = trk, pol, r
+	b.va, b.victimBuf = nil, nil
+	if cfg.ScratchVictims {
+		if va, ok := pol.(mitigation.VictimAppender); ok {
+			b.va = va
+			// Victim lists hold at most four rows; the cushion keeps an
+			// out-of-spec policy from spilling per mitigation.
+			b.victimBuf = arena.Uint32s(cfg.Arena, 8)[:0]
+		}
+	}
 	b.actsInWindow, b.pendingMit = 0, false
 	b.saum, b.saumUntil = -1, 0
 	b.aboRow, b.aboPending = 0, false
@@ -215,6 +250,11 @@ func (d *Device) Reset(cfg Config) bool {
 		return false
 	}
 	d.Cfg = cfg
+	// The pipelines are rebuilt wholesale below, so every arena carving is
+	// dead; reclaim them all so the rebuild re-carves from the same slabs.
+	if cfg.Arena != nil {
+		cfg.Arena.Reset()
+	}
 	for _, b := range d.Banks {
 		b.buildPipeline(&d.Cfg)
 		for i := range b.pracCounts {
@@ -402,7 +442,16 @@ func (b *Bank) mitigate(sel tracker.Selection) {
 	if sel.Level > 1 {
 		b.Stats.TransitiveMits++
 	}
-	victims := b.policy.Victims(sel, b.cfg.Geo.RowsPerBank)
+	var victims []uint32
+	if b.va != nil {
+		// Scratch path (Config.ScratchVictims): the victim list is consumed
+		// before mitigate returns, so it appends into the bank's reusable
+		// buffer with the exact PRNG draws of Victims.
+		b.victimBuf = b.va.AppendVictims(b.victimBuf[:0], sel, b.cfg.Geo.RowsPerBank)
+		victims = b.victimBuf
+	} else {
+		victims = b.policy.Victims(sel, b.cfg.Geo.RowsPerBank)
+	}
 	b.Stats.VictimRefreshes += uint64(len(victims))
 	if b.Ledger != nil {
 		for _, v := range victims {

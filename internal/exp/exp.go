@@ -56,6 +56,13 @@ type Scale struct {
 	// sweep has fewer distinct configs than CPUs, where job parallelism
 	// alone leaves cores idle.
 	Shards int
+	// Batch is applied to every simulation job the experiment submits:
+	// lane batching (sim.Config.Batch). A runner.Pool groups Batch pending
+	// seeds of one configuration into a single machine run, amortizing
+	// construction and pre-warm across the lanes. Like Shards it never
+	// changes results — per-lane output is byte-identical to serial — and
+	// is excluded from the cache key.
+	Batch int
 }
 
 // ctx returns the scale's context, defaulting to Background.
@@ -140,6 +147,7 @@ func (sc Scale) simCfg(p workload.Profile, muts ...func(*sim.Config)) sim.Config
 		Seed:                sc.Seed,
 		Fault:               sc.Fault,
 		Shards:              sc.Shards,
+		Batch:               sc.Batch,
 	}
 	for _, mut := range muts {
 		mut(&cfg)

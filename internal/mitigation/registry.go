@@ -38,11 +38,29 @@ func FromSpec(selector string) (func(r *rng.Source) (Policy, error), error) {
 	if err != nil {
 		return nil, fmt.Errorf("mitigation: %w", err)
 	}
+	// First build: tracked clone, full Finish check. Later builds (one per
+	// bank, every device reset) reuse a single trusted clone with no
+	// consumed-key bookkeeping, so the per-bank rebuild is allocation-free
+	// beyond the policy itself. Not safe for concurrent use; callers
+	// resolve their own builder and drive it from one goroutine.
+	var reuse struct {
+		spec  plugin.Spec
+		ready bool
+	}
 	return func(r *rng.Source) (Policy, error) {
-		s := spec.Clone()
-		p, err := f(&s, r)
+		sp := &reuse.spec
+		if !reuse.ready {
+			s := spec.Clone()
+			sp = &s
+		}
+		p, err := f(sp, r)
 		if err != nil {
 			return nil, fmt.Errorf("mitigation policy %q: %w", spec.Name, err)
+		}
+		if !reuse.ready {
+			reuse.spec = spec.Clone()
+			reuse.spec.Trust()
+			reuse.ready = true
 		}
 		return p, nil
 	}, nil

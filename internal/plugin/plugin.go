@@ -38,9 +38,10 @@ type Spec struct {
 	// Name is the plugin name the spec selects.
 	Name string
 
-	params map[string]string
-	asked  map[string]bool
-	err    error
+	params  map[string]string
+	asked   map[string]bool
+	err     error
+	trusted bool
 }
 
 // ParseSpec parses "name" or "name(key=value, key=value)". Names and keys
@@ -140,6 +141,15 @@ func (s *Spec) Clone() Spec {
 	return Spec{Name: s.Name, params: s.params}
 }
 
+// Trust marks the spec pre-validated: getters stop recording which keys
+// they consumed (skipping the lazily allocated bookkeeping map) and Finish
+// reports only conversion errors, not unknown parameters. A trusted spec is
+// for repeat builds of a selector whose first build already passed the full
+// Finish check — per-bank tracker and policy construction rebuilds the same
+// plugin dozens of times per device reset, and the trusted path makes every
+// rebuild after the first allocation-free.
+func (s *Spec) Trust() { s.trusted = true }
+
 func (s *Spec) fail(err error) {
 	if s.err == nil {
 		s.err = err
@@ -147,10 +157,12 @@ func (s *Spec) fail(err error) {
 }
 
 func (s *Spec) raw(key string) (string, bool) {
-	if s.asked == nil {
-		s.asked = make(map[string]bool)
+	if !s.trusted {
+		if s.asked == nil {
+			s.asked = make(map[string]bool)
+		}
+		s.asked[key] = true
 	}
-	s.asked[key] = true
 	v, ok := s.params[key]
 	return v, ok
 }
@@ -222,6 +234,9 @@ func (s *Spec) Bool(key string, def bool) bool {
 func (s *Spec) Finish() error {
 	if s.err != nil {
 		return s.err
+	}
+	if s.trusted {
+		return nil
 	}
 	unknown := make([]string, 0, len(s.params))
 	for k := range s.params {

@@ -3,41 +3,45 @@ package rng
 import "math/bits"
 
 // Source is a deterministic xoshiro256** pseudo-random generator.
-// The zero value is invalid; construct with New.
+// The zero value is invalid; construct with New. The state lives in four
+// scalar fields (not an array) to keep Uint64 within the compiler's
+// mid-stack inlining budget — the per-draw call overhead is visible in both
+// the event loop's per-activation draws and the prewarm's two-draws-per-line
+// loop.
 type Source struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 }
 
 // New returns a Source seeded from seed via splitmix64, so that nearby seeds
 // give uncorrelated streams.
 func New(seed uint64) *Source {
-	var src Source
+	var state [4]uint64
 	sm := seed
-	for i := range src.s {
+	for i := range state {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		src.s[i] = z ^ (z >> 31)
+		state[i] = z ^ (z >> 31)
 	}
+	src := &Source{s0: state[0], s1: state[1], s2: state[2], s3: state[3]}
 	// A handful of warm-up draws to diffuse low-entropy seeds.
 	for i := 0; i < 8; i++ {
 		src.Uint64()
 	}
-	return &src
+	return src
 }
 
 // Uint64 returns the next 64 uniformly random bits.
 func (r *Source) Uint64() uint64 {
-	s := &r.s
-	result := bits.RotateLeft64(s[1]*5, 7) * 9
-	t := s[1] << 17
-	s[2] ^= s[0]
-	s[3] ^= s[1]
-	s[1] ^= s[2]
-	s[0] ^= s[3]
-	s[2] ^= t
-	s[3] = bits.RotateLeft64(s[3], 45)
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
 	return result
 }
 

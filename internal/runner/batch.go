@@ -1,0 +1,245 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"time"
+
+	"autorfm/internal/sim"
+)
+
+// defaultBatchFlush is how long a partially filled batch group waits for
+// more same-config seeds before running below its target width. Sweeps
+// submit a config family's seeds back-to-back (RunAll spawns every job
+// up-front), so in practice groups fill within microseconds and the timer
+// only fires for a family's tail remainder.
+const defaultBatchFlush = 2 * time.Millisecond
+
+// batchGroup collects cache-missed jobs of one config family (identical
+// Key() up to Seed, same Shards and Batch) until it reaches the family's
+// batch width or its creator's flush timer fires. Exactly one goroutine
+// executes a group: the arrival that filled it, or — for a partial group —
+// its creator after the flush delay. The taken flag (guarded by Pool.bmu)
+// makes the handoff race-free.
+type batchGroup struct {
+	width   int
+	cfgs    []sim.Config
+	keys    []string
+	entries []*entry
+	full    chan struct{} // closed when the group reaches width
+	taken   bool          // an executor owns it; no longer in Pool.groups
+}
+
+// batchGroupKey is the grouping identity for lane batching: the job key
+// with the seed zeroed, plus the shard and batch widths. Shards and Batch
+// are excluded from Key() (they never change results), so they are appended
+// here explicitly — a group runs as one machine configuration, and mixing
+// widths would silently run some jobs at another job's width.
+func batchGroupKey(cfg sim.Config) string {
+	c := cfg
+	c.Seed = 0
+	return c.Key() + "|#shards=" + strconv.Itoa(cfg.Shards) + "|#batch=" + strconv.Itoa(cfg.Batch)
+}
+
+// batchEligible reports whether a cache-missed job may join a lane-batched
+// group. Per-job instrumentation and per-job timeouts are incompatible with
+// sharing one machine run across jobs (a telemetry probe is per-run state;
+// a timeout would cut down every lane in the group), so pools using either
+// fall back to serial per-seed execution.
+func (p *Pool) batchEligible(cfg sim.Config) bool {
+	return cfg.Batch > 1 && p.Instrument == nil && p.JobTimeout == 0
+}
+
+// runBatched executes one cache-missed job through a batch group: the job
+// joins (or creates) its family's pending group, and either this goroutine
+// ends up executing the whole group or another lane's does. Either way e is
+// filled and e.ready closed before this returns. Waiting respects ctx like
+// the cache-coalescing path: a cancelled waiter returns early while the
+// group's executor still completes its lane.
+func (p *Pool) runBatched(ctx context.Context, cfg sim.Config, key string, e *entry) (sim.Result, error) {
+	p.bmu.Lock()
+	if p.groups == nil {
+		p.groups = make(map[string]*batchGroup)
+	}
+	gk := batchGroupKey(cfg)
+	g := p.groups[gk]
+	creator := false
+	if g == nil {
+		g = &batchGroup{width: cfg.Batch, full: make(chan struct{})}
+		p.groups[gk] = g
+		creator = true
+	}
+	g.cfgs = append(g.cfgs, cfg)
+	g.keys = append(g.keys, key)
+	g.entries = append(g.entries, e)
+	filled := len(g.entries) >= g.width
+	if filled {
+		g.taken = true
+		delete(p.groups, gk)
+		close(g.full)
+	}
+	p.bmu.Unlock()
+
+	if filled {
+		// This arrival completed the group: execute it (the creator's
+		// flush select sees full closed and downgrades to waiting).
+		p.executeGroup(ctx, g)
+	} else if creator {
+		// The creator arms the flush: if the group never fills, it claims
+		// whatever collected after the delay and runs the partial group.
+		// On cancellation it claims immediately rather than bailing — an
+		// orphaned group would leave its entries unfilled and wedge every
+		// future submission of the same keys.
+		flush := p.BatchFlush
+		if flush <= 0 {
+			flush = defaultBatchFlush
+		}
+		timer := time.NewTimer(flush)
+		select {
+		case <-g.full:
+			timer.Stop()
+		case <-timer.C:
+			p.claimAndExecute(ctx, gk, g)
+		case <-ctx.Done():
+			timer.Stop()
+			p.claimAndExecute(ctx, gk, g)
+		}
+	}
+
+	select {
+	case <-e.ready:
+		return e.res, e.err
+	case <-ctx.Done():
+		return sim.Result{}, ctx.Err()
+	}
+}
+
+// claimAndExecute runs g unless another goroutine already took it.
+func (p *Pool) claimAndExecute(ctx context.Context, gk string, g *batchGroup) {
+	p.bmu.Lock()
+	claimed := !g.taken
+	if claimed {
+		g.taken = true
+		delete(p.groups, gk)
+		close(g.full)
+	}
+	p.bmu.Unlock()
+	if claimed {
+		p.executeGroup(ctx, g)
+	}
+}
+
+// executeGroup runs every lane of g as one machine batch under a single
+// worker slot, then distributes per-lane results to the waiting jobs:
+// successful lanes are checkpointed and counted exactly like serial jobs,
+// panicking lanes surface as *PanicError with their own lane key, and
+// cancelled lanes are evicted from the cache so a resumed sweep re-runs
+// them. Tail auto-widening is deliberately not applied: a batch already
+// occupies its worker with B jobs' worth of work.
+func (p *Pool) executeGroup(ctx context.Context, g *batchGroup) {
+	seeds := make([]uint64, len(g.cfgs))
+	for i, c := range g.cfgs {
+		seeds[i] = c.Seed
+	}
+	var results []sim.Result
+	var errs []error
+	select {
+	case p.sem <- struct{}{}:
+		m := p.getMachine()
+		results, errs = m.RunBatch(ctx, g.cfgs[0], seeds)
+		p.putMachine(m)
+		<-p.sem
+	case <-ctx.Done():
+		results = make([]sim.Result, len(seeds))
+		errs = make([]error, len(seeds))
+		for i := range errs {
+			errs[i] = ctx.Err()
+		}
+	}
+
+	for i, e := range g.entries {
+		err := errs[i]
+		var lp *sim.LanePanic
+		if errors.As(err, &lp) {
+			err = &PanicError{Key: g.keys[i], Value: lp.Value, Stack: lp.Stack}
+		}
+		if err == nil {
+			res := results[i]
+			p.pmu.Lock()
+			p.events += res.Events
+			p.pmu.Unlock()
+			p.checkpoint(g.keys[i], res)
+		} else if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			// Caller cancellation is not a property of the job; evict so a
+			// resumed sweep re-runs it (mirrors Pool.Run's serial path).
+			p.mu.Lock()
+			delete(p.cache, g.keys[i])
+			p.mu.Unlock()
+		}
+		e.res, e.err = sim.Result{}, err
+		if err == nil {
+			e.res = results[i]
+		}
+		close(e.ready)
+	}
+}
+
+// AutoWiden configures tail widening: when a sweep's pending job count
+// drops below the worker count, the pool raises each remaining job's shard
+// width (sim.Config.Shards) so otherwise-idle cores contribute to the jobs
+// still running. Widening never changes results — sharded output is
+// byte-identical to serial and Shards is excluded from Key() — so it
+// composes with the result cache and checkpointing.
+type AutoWiden struct {
+	// MaxShards caps the widened shard width; <= 1 disables widening.
+	MaxShards int
+	// Debounce is how long the tail condition (pending < workers) must
+	// hold before widening kicks in, so a sweep that momentarily dips —
+	// e.g. between RunAll waves — does not flip widths back and forth.
+	// Zero widens immediately.
+	Debounce time.Duration
+}
+
+// widenWidth returns the shard width to widen the next job to, or 0 to
+// leave the job as submitted. Jobs that already request sharding or lane
+// batching are never widened.
+func (p *Pool) widenWidth(cfg sim.Config) int {
+	if p.AutoWiden.MaxShards <= 1 || cfg.Shards > 1 || cfg.Batch > 1 {
+		return 0
+	}
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	pending := p.submitted - p.done
+	if pending >= cap(p.sem) {
+		p.tailSince = time.Time{}
+		return 0
+	}
+	now := p.clock()
+	if p.tailSince.IsZero() {
+		p.tailSince = now
+	}
+	if now.Sub(p.tailSince) < p.AutoWiden.Debounce {
+		return 0
+	}
+	if pending < 1 {
+		pending = 1
+	}
+	width := cap(p.sem) / pending
+	if width > p.AutoWiden.MaxShards {
+		width = p.AutoWiden.MaxShards
+	}
+	if width <= 1 {
+		return 0
+	}
+	return width
+}
+
+// clock returns the pool's time source (the now seam lets the widening
+// debounce be unit-tested against a fake clock).
+func (p *Pool) clock() time.Time {
+	if p.now != nil {
+		return p.now()
+	}
+	return time.Now()
+}

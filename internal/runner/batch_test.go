@@ -1,0 +1,244 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"autorfm/internal/dram"
+	"autorfm/internal/fault"
+	"autorfm/internal/sim"
+)
+
+// batchJobs returns count seeds of one config family at the given batch
+// width.
+func batchJobs(t *testing.T, count, batch int) []sim.Config {
+	t.Helper()
+	jobs := make([]sim.Config, count)
+	for i := range jobs {
+		jobs[i] = cfg(t, "bwaves", func(c *sim.Config) {
+			c.Mode, c.TH = dram.ModeAutoRFM, 8
+			c.Seed = uint64(i + 1)
+			c.Batch = batch
+		})
+	}
+	return jobs
+}
+
+// TestPoolBatchMatchesSerial pins the runner-level grouping contract: a
+// sweep submitted at Batch=3 returns results byte-identical to the same
+// sweep run serially, including a partial tail group (7 seeds / width 3),
+// and every job was actually simulated once (no spurious cache hits).
+func TestPoolBatchMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	jobs := batchJobs(t, 7, 3)
+
+	serialPool := New(2)
+	serialJobs := make([]sim.Config, len(jobs))
+	for i, j := range jobs {
+		j.Batch = 0
+		serialJobs[i] = j
+	}
+	want, errs := serialPool.RunAll(ctx, serialJobs)
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+
+	batchPool := New(2)
+	got, errs := batchPool.RunAll(ctx, jobs)
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		// Result.Config reports the job as submitted, execution-mode knobs
+		// included; clear Batch before comparing, exactly like the shard
+		// differentials clear Shards (the knobs are json-ignored, so
+		// persisted results never carry them).
+		g, w := got[i], want[i]
+		g.Config.Batch, w.Config.Batch = 0, 0
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("seed %d: batched result diverges from serial", i+1)
+		}
+	}
+	if hits, misses := batchPool.CacheStats(); hits != 0 || misses != 7 {
+		t.Errorf("hits=%d misses=%d, want 0/7", hits, misses)
+	}
+	if ev := batchPool.SimulatedEvents(); ev != serialPool.SimulatedEvents() {
+		t.Errorf("batched pool counted %d events, serial %d", ev, serialPool.SimulatedEvents())
+	}
+}
+
+// TestPoolBatchSharesCache: a batched sweep populates the same cache a
+// serial resubmission hits — the group's lanes are memoized under their
+// unchanged per-seed keys.
+func TestPoolBatchSharesCache(t *testing.T) {
+	ctx := context.Background()
+	p := New(2)
+	jobs := batchJobs(t, 4, 2)
+	if _, errs := p.RunAll(ctx, jobs); FirstError(errs) != nil {
+		t.Fatal(FirstError(errs))
+	}
+	// Resubmit serially (Batch=0): all four must be cache hits.
+	for i, j := range jobs {
+		j.Batch = 0
+		if _, err := p.Run(ctx, j); err != nil {
+			t.Fatalf("resubmit %d: %v", i, err)
+		}
+	}
+	if hits, misses := p.CacheStats(); hits != 4 || misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 4/4", hits, misses)
+	}
+}
+
+// TestPoolBatchPanicIsolation: one lane's injected panic surfaces as a
+// *PanicError carrying that lane's key, while sibling lanes in the same
+// group complete normally.
+func TestPoolBatchPanicIsolation(t *testing.T) {
+	ctx := context.Background()
+	p := New(1)
+	jobs := batchJobs(t, 3, 3)
+	doomed := cfg(t, "bwaves", func(c *sim.Config) {
+		c.Mode, c.TH = dram.ModeAutoRFM, 8
+		c.Seed = 2
+		c.Batch = 3
+		c.Fault = fault.Config{PanicAfterActs: 1}
+	})
+	jobs[1] = doomed
+
+	// The faulted lane differs in Key (fault config is part of it), so it
+	// groups separately; run it through the same pool to exercise the
+	// LanePanic→PanicError conversion, siblings through their own group.
+	res, errs := p.RunAll(ctx, jobs)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("sibling lanes failed: %v / %v", errs[0], errs[2])
+	}
+	if res[0].MC.Acts == 0 || res[2].MC.Acts == 0 {
+		t.Fatal("sibling lanes did not complete")
+	}
+	var pe *PanicError
+	if !errors.As(errs[1], &pe) {
+		t.Fatalf("errs[1] = %v (%T), want *PanicError", errs[1], errs[1])
+	}
+	if pe.Key != doomed.Key() {
+		t.Errorf("PanicError.Key = %q, want %q", pe.Key, doomed.Key())
+	}
+}
+
+// TestPoolBatchIneligible: instrumented pools and per-job timeouts fall
+// back to serial execution (a shared machine run cannot carry per-job
+// telemetry or per-job deadlines), and still produce correct results.
+func TestPoolBatchIneligible(t *testing.T) {
+	ctx := context.Background()
+	p := New(2)
+	p.JobTimeout = time.Minute
+	jobs := batchJobs(t, 2, 2)
+	if _, errs := p.RunAll(ctx, jobs); FirstError(errs) != nil {
+		t.Fatal(FirstError(errs))
+	}
+	p.bmu.Lock()
+	groups := len(p.groups)
+	p.bmu.Unlock()
+	if groups != 0 {
+		t.Fatalf("ineligible jobs left %d pending groups", groups)
+	}
+}
+
+// TestPoolBatchFlushTail: a single job at Batch=8 still completes — the
+// group's creator flushes the partial group after BatchFlush instead of
+// waiting forever for seven more seeds.
+func TestPoolBatchFlushTail(t *testing.T) {
+	ctx := context.Background()
+	p := New(2)
+	p.BatchFlush = time.Millisecond
+	job := batchJobs(t, 1, 8)[0]
+	start := time.Now()
+	if _, err := p.Run(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("flush took %v", d)
+	}
+}
+
+// TestAutoWidenTail drives the widening debounce against a fake clock: a
+// pool whose pending count sits below its worker count widens jobs only
+// once the condition has held for Debounce, and leaves explicitly sharded
+// or batched jobs alone.
+func TestAutoWidenTail(t *testing.T) {
+	ctx := context.Background()
+	p := New(4)
+	p.AutoWiden = AutoWiden{MaxShards: 4, Debounce: time.Second}
+	now := time.Unix(1000, 0)
+	p.now = func() time.Time { return now }
+
+	// Observe the width each simulated job actually ran at. Instrument is
+	// called before widening and disables batching, so read the width from
+	// the widening decision directly instead.
+	job := cfg(t, "bwaves", func(c *sim.Config) { c.Seed = 10 })
+
+	// First tail job: starts the debounce window; not yet widened.
+	if w := p.widenWidth(jobPending(p, job)); w != 0 {
+		t.Fatalf("widened before debounce: %d", w)
+	}
+	// Clock advances past the debounce: a lone pending job on 4 workers
+	// widens to the full 4 shards.
+	now = now.Add(2 * time.Second)
+	if w := p.widenWidth(jobPending(p, job)); w != 4 {
+		t.Fatalf("width = %d, want 4", w)
+	}
+	// Explicit sharding and batching opt out.
+	sharded := job
+	sharded.Shards = 2
+	if w := p.widenWidth(sharded); w != 0 {
+		t.Fatalf("sharded job widened to %d", w)
+	}
+	batched := job
+	batched.Batch = 2
+	if w := p.widenWidth(batched); w != 0 {
+		t.Fatalf("batched job widened to %d", w)
+	}
+	// A full queue (pending >= workers) resets the window.
+	p.pmu.Lock()
+	p.submitted += 10
+	p.pmu.Unlock()
+	if w := p.widenWidth(job); w != 0 {
+		t.Fatalf("widened with a full queue: %d", w)
+	}
+	p.pmu.Lock()
+	if !p.tailSince.IsZero() {
+		p.pmu.Unlock()
+		t.Fatal("full queue did not reset the tail window")
+	}
+	p.pmu.Unlock()
+
+	// End-to-end: a widened job's result is byte-identical to serial.
+	p2 := New(4)
+	p2.AutoWiden = AutoWiden{MaxShards: 4}
+	got, err := p2.Run(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(1).Run(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The widened run's Result.Config records the width it actually ran
+	// at; everything else must match serial byte for byte.
+	got.Config.Shards, want.Config.Shards = 0, 0
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("widened result diverges from serial")
+	}
+}
+
+// jobPending registers one pending job so widenWidth sees a non-empty tail
+// (submitted-done drives the pending count), then returns the config.
+func jobPending(p *Pool, c sim.Config) sim.Config {
+	p.pmu.Lock()
+	if p.submitted == p.done {
+		p.submitted++
+	}
+	p.pmu.Unlock()
+	return c
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"runtime/debug"
+
+	"autorfm/internal/cache"
+	"autorfm/internal/clk"
+	"autorfm/internal/fault"
+	"autorfm/internal/rng"
+)
+
+// maxBatch bounds Config.Batch. The limit exists only to catch corrupted
+// flag plumbing (a batch this wide holds thousands of warm LLCs); real
+// sweeps batch at most a few lanes per core.
+const maxBatch = 4096
+
+// laneBurst is how many events a lane dispatches between horizon checks in
+// RunBatch's round loop. Lanes share no state, so any interleaving is
+// byte-identical to serial; the burst only amortizes the PeekTime check so
+// the batched per-event cost stays at serial levels. A lane may overshoot
+// the horizon by up to one burst, which is harmless for the same reason.
+const laneBurst = 1024
+
+// LanePanic is the per-lane error RunBatch records when a lane's simulation
+// panics. The serial path lets panics propagate (the runner's recover turns
+// them into job errors); the batched path must not let one lane's panic
+// destroy its siblings, so it recovers per lane and surfaces the value and
+// stack here.
+type LanePanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *LanePanic) Error() string {
+	return fmt.Sprintf("sim: lane panicked: %v", p.Value)
+}
+
+// prewarmScratch is the batch-shared buffer set for the LLC pre-warm: the
+// drawn line/dirty vectors and the WarmAll counting-sort plan. One scratch
+// serves every lane of a batch in turn (the pre-warm is per-lane sequential
+// work), so the batched path pays the draw buffers once instead of B times.
+type prewarmScratch struct {
+	lines []uint64
+	dirty []bool
+	plan  cache.WarmPlan
+}
+
+// prewarmBatched is prewarm through the set-major WarmAll path with reused
+// scratch. The PRNG draw sequence is identical to the serial loop (Int63n
+// then Bernoulli per line), and WarmAll applies each entry with the LRU
+// stamp the serial loop would have used, so the warmed LLC state is
+// byte-identical to prewarm's.
+func prewarmBatched(llc *cache.Cache, llcCfg cache.Config, cfg Config, s *prewarmScratch) int {
+	wr := rng.New(cfg.Seed ^ 0x3a3a)
+	totalLines := llcCfg.SizeBytes / llcCfg.LineBytes
+	fpLines := uint64(cfg.Workload.FootprintMB) * (1 << 20) / 64
+	if cap(s.lines) < totalLines {
+		s.lines = make([]uint64, totalLines)
+		s.dirty = make([]bool, totalLines)
+	}
+	lines := s.lines[:totalLines]
+	dirty := s.dirty[:totalLines]
+	wf := cfg.Workload.WriteFrac
+	if fpLines > 0 && wf > 0 && wf < 1 {
+		// Call-free draw loop: rng.Int63n and rng.Bernoulli stay outside the
+		// compiler's inline budget (the rejection loop), so this replays
+		// their exact algorithms — Lemire multiply-shift with the same
+		// accept condition, Float64-compare Bernoulli — against the inlined
+		// Uint64. Identical draws, identical values (pinned by the
+		// batched-vs-serial differentials); the rejection threshold and the
+		// i % cores counter are merely hoisted out of the loop.
+		thresh := -fpLines % fpLines
+		core, coreBase := 0, uint64(0)
+		for i := range lines {
+			var off uint64
+			for {
+				hi, lo := bits.Mul64(wr.Uint64(), fpLines)
+				if lo >= fpLines || lo >= thresh {
+					off = hi
+					break
+				}
+			}
+			lines[i] = coreBase + off
+			dirty[i] = float64(wr.Uint64()>>11)/(1<<53) < wf
+			core++
+			coreBase += fpLines
+			if core == cfg.Cores {
+				core, coreBase = 0, 0
+			}
+		}
+	} else {
+		// Degenerate parameters (no footprint, all-read or all-write
+		// workloads) keep the library calls so the draw count stays exactly
+		// serial's — Bernoulli(0) and Bernoulli(1) consume no draw.
+		core := 0
+		for i := range lines {
+			lines[i] = uint64(core)*fpLines + uint64(wr.Int63n(int64(fpLines)))
+			dirty[i] = wr.Bernoulli(wf)
+			core++
+			if core == cfg.Cores {
+				core = 0
+			}
+		}
+	}
+	llc.WarmAll(lines, dirty, &s.plan)
+	return totalLines
+}
+
+// Lane step outcomes for stepToward.
+type laneStatus int
+
+const (
+	laneWaiting   laneStatus = iota // horizon reached, more work pending
+	laneDone                        // all cores retired
+	laneBlocked                     // queue drained before cores finished
+	laneCancelled                   // ctx cancelled mid-dispatch
+)
+
+// stepToward dispatches the lane's events up to (approximately) the shared
+// tick horizon. Events are dispatched in bursts of laneBurst between
+// PeekTime checks, so a lane may run up to one burst past the horizon —
+// harmless, since lanes share no state and the horizon is purely a
+// fairness heuristic that keeps lanes' working sets advancing together.
+func (lr *laneRun) stepToward(ctx context.Context, horizon clk.Tick) laneStatus {
+	q := lr.eng.q
+	for lr.remaining > 0 {
+		t, ok := q.PeekTime()
+		if !ok {
+			return laneBlocked
+		}
+		if t > horizon {
+			return laneWaiting
+		}
+		for n := 0; n < laneBurst && lr.remaining > 0; n++ {
+			if !q.Step() {
+				break
+			}
+			lr.events++
+			if lr.events&0xfff == 0 && ctx.Err() != nil {
+				return laneCancelled
+			}
+		}
+	}
+	return laneDone
+}
+
+// RunBatch executes cfg once per seed in seeds, each seed on its own lane of
+// the machine, interleaving the lanes toward shared tick horizons. Per-lane
+// Results are byte-identical to serial per-seed runs of the same config
+// (pinned by TestRunBatchMatchesSerial): lanes share no simulation state —
+// only the machine's warm allocations, the batch's prepared plugin
+// constructors, and the pre-warm scratch — so batching is purely a
+// throughput optimization (construction amortized across lanes, and lanes'
+// working sets advancing together).
+//
+// results[i] and errs[i] correspond to seeds[i]; exactly one of them is
+// meaningful per lane. A lane that panics records a *LanePanic and does not
+// disturb its siblings. Configurations the batched path cannot group —
+// telemetry probes and per-run closures (NewStream/NewTracker/NewPolicy),
+// which may be stateful across calls — fall back to sequential serial runs
+// on lane 0, preserving the exact serial semantics.
+func (m *Machine) RunBatch(ctx context.Context, cfg Config, seeds []uint64) ([]Result, []error) {
+	results := make([]Result, len(seeds))
+	errs := make([]error, len(seeds))
+	if len(seeds) == 0 {
+		return results, errs
+	}
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return results, errs
+	}
+	if len(seeds) == 1 || cfg.Telemetry != nil ||
+		cfg.NewStream != nil || cfg.NewTracker != nil || cfg.NewPolicy != nil {
+		for i, seed := range seeds {
+			c := cfg
+			c.Seed = seed
+			results[i], errs[i] = m.runLaneSerial(ctx, c)
+		}
+		return results, errs
+	}
+
+	pre, err := prepare(&cfg)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return results, errs
+	}
+
+	lanes := make([]*laneRun, len(seeds))
+	defer func() {
+		for _, lr := range lanes {
+			if lr != nil {
+				lr.release()
+			}
+		}
+	}()
+	quantum := clk.Tick(1) << 62
+	for i, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					errs[i] = &LanePanic{Value: v, Stack: debug.Stack()}
+				}
+			}()
+			// Chaos injection happens before any simulation work, exactly
+			// as in the serial path, so induced job deaths are cheap and
+			// deterministic per job identity.
+			if c.Fault.ChaosProb > 0 {
+				id := c.Key()
+				if id == "" {
+					id = fmt.Sprintf("stream:%s/%d", c.Workload.Name, c.Seed)
+				}
+				fault.MaybeChaosPanic(c.Fault, id)
+			}
+			lanes[i], errs[i] = m.lane(i).start(c, &pre, &m.warm)
+		}()
+	}
+
+	// The round loop: every live lane advances to the shared horizon, then
+	// the horizon moves one quantum. Lanes retire independently the moment
+	// their cores finish; a retired lane's queue is never stepped again, so
+	// straggler events it scheduled past its finish never dispatch.
+	live := 0
+	for i := range lanes {
+		if lanes[i] != nil && errs[i] == nil {
+			live++
+		}
+	}
+	var horizon clk.Tick = quantum
+	for live > 0 {
+		cancelled := ctx.Err() != nil
+		for i, lr := range lanes {
+			if lr == nil || lr.finished || errs[i] != nil {
+				continue
+			}
+			if cancelled {
+				errs[i] = fmt.Errorf("sim: run cancelled at t=%v: %w", lr.eng.q.Now(), ctx.Err())
+				lr.release()
+				live--
+				continue
+			}
+			var st laneStatus
+			panicked := func() (p bool) {
+				defer func() {
+					if v := recover(); v != nil {
+						errs[i] = &LanePanic{Value: v, Stack: debug.Stack()}
+						p = true
+					}
+				}()
+				st = lr.stepToward(ctx, horizon)
+				return false
+			}()
+			if panicked {
+				lr.release()
+				live--
+				continue
+			}
+			switch st {
+			case laneWaiting:
+				// More work beyond the horizon; next round.
+			case laneCancelled:
+				errs[i] = fmt.Errorf("sim: run cancelled at t=%v: %w", lr.eng.q.Now(), ctx.Err())
+				lr.release()
+				live--
+			case laneDone, laneBlocked:
+				// Serial Run treats a drained queue as completion too
+				// (finish reports whatever the cores managed); keep that.
+				results[i], errs[i] = lr.finish()
+				lr.finished = true
+				lr.release()
+				live--
+			}
+		}
+		horizon += quantum
+	}
+	return results, errs
+}
+
+// runLaneSerial is RunCtx on lane 0 with panics recovered into *LanePanic,
+// for RunBatch's sequential fallback: batch callers always get per-lane
+// errors, never a propagating panic.
+func (m *Machine) runLaneSerial(ctx context.Context, cfg Config) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &LanePanic{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return m.RunCtx(ctx, cfg)
+}

@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"autorfm/internal/fault"
+)
+
+// batchResultBytes canonicalizes a Result for byte comparison: like Shards,
+// Batch is an execution-mode knob, not simulation state, so it is cleared
+// (both are excluded from JSON and Key() for the same reason).
+func batchResultBytes(t *testing.T, r Result) []byte {
+	t.Helper()
+	r.Config.Batch = 0
+	r.Config.Shards = 0
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return b
+}
+
+// batchChunks splits seeds into RunBatch submissions of the given width
+// (the last chunk may be partial, like a sweep's tail group).
+func batchChunks(seeds []uint64, width int) [][]uint64 {
+	var out [][]uint64
+	for len(seeds) > 0 {
+		n := width
+		if n > len(seeds) {
+			n = len(seeds)
+		}
+		out = append(out, seeds[:n])
+		seeds = seeds[n:]
+	}
+	return out
+}
+
+// TestRunBatchMatchesSerialDifferential is the tentpole guard: across 200
+// seeds spread over the mode/feature matrix (fault injection included), a
+// batched run's per-lane Results are byte-identical to serial per-seed
+// runs, at widths 2, 3 and 8 — partial tail chunks included — all on one
+// continuously reused machine, exactly as a pool worker would run them.
+func TestRunBatchMatchesSerialDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is long; run without -short")
+	}
+	ctx := context.Background()
+	var m Machine
+	cfgs := diffConfigs()
+	const seedsPerConfig = 34 // 6 configs x 34 seeds > 200 seed/config points
+	for ci, base := range cfgs {
+		seeds := make([]uint64, seedsPerConfig)
+		want := make(map[uint64][]byte, seedsPerConfig)
+		for s := range seeds {
+			seed := uint64(ci*1000 + s)
+			seeds[s] = seed
+			cfg := base
+			cfg.Seed = seed
+			serial, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("config %d seed %d serial: %v", ci, seed, err)
+			}
+			want[seed] = batchResultBytes(t, serial)
+		}
+		for _, width := range []int{2, 3, 8} {
+			cfg := base
+			cfg.Batch = width
+			for _, chunk := range batchChunks(seeds, width) {
+				results, errs := m.RunBatch(ctx, cfg, chunk)
+				for i, seed := range chunk {
+					if errs[i] != nil {
+						t.Fatalf("config %d seed %d batch=%d: %v", ci, seed, width, errs[i])
+					}
+					if gb := batchResultBytes(t, results[i]); string(gb) != string(want[seed]) {
+						t.Fatalf("config %d seed %d: batch=%d diverges from serial\nserial:  %s\nbatched: %s",
+							ci, seed, width, want[seed], gb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchMatchesSerialQuick is the -short version: one width-2 batch
+// per config family, so plain `go test` still exercises every mode's
+// batched path.
+func TestRunBatchMatchesSerialQuick(t *testing.T) {
+	ctx := context.Background()
+	var m Machine
+	for ci, base := range diffConfigs() {
+		seeds := []uint64{uint64(ci*10 + 1), uint64(ci*10 + 2)}
+		want := make([][]byte, len(seeds))
+		for i, seed := range seeds {
+			cfg := base
+			cfg.Seed = seed
+			serial, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("config %d seed %d serial: %v", ci, seed, err)
+			}
+			want[i] = batchResultBytes(t, serial)
+		}
+		cfg := base
+		cfg.Batch = 2
+		results, errs := m.RunBatch(ctx, cfg, seeds)
+		for i := range seeds {
+			if errs[i] != nil {
+				t.Fatalf("config %d lane %d: %v", ci, i, errs[i])
+			}
+			if string(batchResultBytes(t, results[i])) != string(want[i]) {
+				t.Fatalf("config %d lane %d: batched Result diverges from serial", ci, i)
+			}
+		}
+	}
+}
+
+// TestRunBatchComposesWithShards: lanes of a batch may themselves shard
+// their device pipeline; the composition stays byte-identical to serial.
+func TestRunBatchComposesWithShards(t *testing.T) {
+	ctx := context.Background()
+	base := diffConfigs()[0]
+	seeds := []uint64{11, 12, 13}
+	want := make([][]byte, len(seeds))
+	for i, seed := range seeds {
+		cfg := base
+		cfg.Seed = seed
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		want[i] = batchResultBytes(t, serial)
+	}
+	var m Machine
+	cfg := base
+	cfg.Batch = 3
+	cfg.Shards = 2
+	results, errs := m.RunBatch(ctx, cfg, seeds)
+	for i := range seeds {
+		if errs[i] != nil {
+			t.Fatalf("lane %d: %v", i, errs[i])
+		}
+		if string(batchResultBytes(t, results[i])) != string(want[i]) {
+			t.Fatalf("lane %d: batch+shards diverges from serial", i)
+		}
+	}
+}
+
+// TestRunBatchLaneIsolation uses deterministic chaos injection to kill a
+// subset of a batch's lanes: dying lanes surface *LanePanic, surviving
+// lanes complete with Results byte-identical to their serial runs, and the
+// machine stays healthy for the next batch.
+func TestRunBatchLaneIsolation(t *testing.T) {
+	ctx := context.Background()
+	base := diffConfigs()[0]
+	base.Fault = fault.Config{Seed: 3, ChaosProb: 0.5}
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+
+	type outcome struct {
+		bytes []byte
+		died  bool
+	}
+	serial := func(seed uint64) (o outcome) {
+		cfg := base
+		cfg.Seed = seed
+		defer func() {
+			if recover() != nil {
+				o.died = true
+			}
+		}()
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d serial error: %v", seed, err)
+		}
+		o.bytes = batchResultBytes(t, res)
+		return o
+	}
+	want := make(map[uint64]outcome, len(seeds))
+	died := 0
+	for _, s := range seeds {
+		o := serial(s)
+		want[s] = o
+		if o.died {
+			died++
+		}
+	}
+	if died == 0 || died == len(seeds) {
+		t.Fatalf("chaos matrix degenerate: %d/%d lanes die — pick another fault seed", died, len(seeds))
+	}
+
+	var m Machine
+	cfg := base
+	cfg.Batch = len(seeds)
+	results, errs := m.RunBatch(ctx, cfg, seeds)
+	for i, seed := range seeds {
+		if want[seed].died {
+			var lp *LanePanic
+			if !errors.As(errs[i], &lp) {
+				t.Fatalf("seed %d: err = %v (%T), want *LanePanic", seed, errs[i], errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("surviving seed %d: %v", seed, errs[i])
+		}
+		if string(batchResultBytes(t, results[i])) != string(want[seed].bytes) {
+			t.Fatalf("surviving seed %d diverges from serial", seed)
+		}
+	}
+
+	// The machine that hosted panicking lanes rebuilds cleanly.
+	clean := diffConfigs()[0]
+	ref, err := Run(withSeed(clean, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.Batch = 2
+	results, errs = m.RunBatch(ctx, clean, []uint64{99, 100})
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("post-panic batch failed: %v / %v", errs[0], errs[1])
+	}
+	if string(batchResultBytes(t, results[0])) != string(batchResultBytes(t, ref)) {
+		t.Fatal("post-panic machine diverges from serial")
+	}
+}
+
+func withSeed(c Config, seed uint64) Config {
+	c.Seed = seed
+	return c
+}
+
+// TestRunBatchCancellation: a cancelled context fails every lane with the
+// context error without poisoning the machine — the next batch on the same
+// machine completes and matches serial.
+func TestRunBatchCancellation(t *testing.T) {
+	base := diffConfigs()[0]
+	base.Batch = 2
+	seeds := []uint64{21, 22}
+	var m Machine
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs := m.RunBatch(cancelled, base, seeds)
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("lane %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+
+	ref, err := Run(withSeed(diffConfigs()[0], 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := m.RunBatch(context.Background(), base, seeds)
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("post-cancel batch failed: %v / %v", errs[0], errs[1])
+	}
+	if string(batchResultBytes(t, results[0])) != string(batchResultBytes(t, ref)) {
+		t.Fatal("post-cancel machine diverges from serial")
+	}
+}
+
+// TestBatchExcludedFromKey pins the cache-compatibility contract: batch
+// width, like shard width, changes no simulation outcome and therefore no
+// cache key and no serialized config bytes.
+func TestBatchExcludedFromKey(t *testing.T) {
+	a := diffConfigs()[0]
+	a.Seed = 5
+	b := a
+	b.Batch = 8
+	if a.Key() == "" || a.Key() != b.Key() {
+		t.Fatalf("Batch leaks into Key():\n a=%q\n b=%q", a.Key(), b.Key())
+	}
+	ab, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(bb) {
+		t.Fatal("Batch leaks into the serialized config")
+	}
+	var back Config
+	if err := json.Unmarshal(bb, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Batch != 0 {
+		t.Fatalf("Batch survived a JSON round-trip: %d", back.Batch)
+	}
+}
+
+// TestLaneUpdateLoopZeroAllocs extends the zero-allocation guards to the
+// batched lane dispatch loop: once a lane is past its startup transients
+// (pools filled, rings sized), stepping events allocates nothing — the
+// steady-state per-event cost is pure compute, scratch-victim mitigation
+// included.
+func TestLaneUpdateLoopZeroAllocs(t *testing.T) {
+	cfg := diffConfigs()[0] // AutoRFM TH=4: mitigations fire constantly
+	cfg.InstructionsPerCore = 60_000
+	cfg.Seed = 7
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var m Machine
+	// One full batch first so the machine's lane engines are warm (the
+	// measured start below then reuses every allocation).
+	warmCfg := cfg
+	warmCfg.Batch = 2
+	if _, errs := m.RunBatch(context.Background(), warmCfg, []uint64{7, 8}); errs[0] != nil || errs[1] != nil {
+		t.Fatalf("warm batch failed: %v / %v", errs[0], errs[1])
+	}
+
+	pre, err := prepare(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := m.lane(0).start(cfg, &pre, &m.warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.release()
+	// Burn past startup transients (free lists growing to steady state,
+	// MSHR table growth, queue ring sizing).
+	ctx := context.Background()
+	if st := lr.stepN(ctx, 120_000); st != laneWaiting && st != laneDone {
+		t.Fatalf("warmup ended in state %v", st)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if lr.remaining > 0 {
+			lr.stepN(ctx, 2_000)
+		}
+	})
+	if lr.remaining == 0 {
+		t.Fatal("lane retired before the measurement window; raise InstructionsPerCore")
+	}
+	if allocs != 0 {
+		t.Fatalf("lane update loop allocates %.1f objects per 2k events, want 0", allocs)
+	}
+}
+
+// stepN dispatches up to n events regardless of horizon, for tests.
+func (lr *laneRun) stepN(ctx context.Context, n int) laneStatus {
+	q := lr.eng.q
+	for i := 0; i < n && lr.remaining > 0; i++ {
+		if !q.Step() {
+			return laneBlocked
+		}
+		lr.events++
+	}
+	if lr.remaining == 0 {
+		return laneDone
+	}
+	return laneWaiting
+}

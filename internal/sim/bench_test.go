@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -65,6 +66,40 @@ func BenchmarkSimRunSharded(b *testing.B) {
 				events += res.Events
 			}
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkSimRunBatched is the lane-batched path: each iteration runs
+// `batch` distinct seeds of benchConfig through one warm Machine's RunBatch,
+// and the headline events/sec metric aggregates across lanes. The ratio of
+// batch=4 against BenchmarkSimRun's events/sec is the PR 9 acceptance
+// number (docs/PERF.md "PR 9"); per-lane Results are byte-identical to
+// serial, so the ratio is pure wall-clock.
+func BenchmarkSimRunBatched(b *testing.B) {
+	for _, batch := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			cfg := benchConfig(b)
+			var m Machine
+			seeds := make([]uint64, batch)
+			b.ReportAllocs()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				for l := range seeds {
+					seeds[l] = uint64(i*batch + l + 1)
+				}
+				results, errs := m.RunBatch(context.Background(), cfg, seeds)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, res := range results {
+					events += res.Events
+				}
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(events)/float64(int64(b.N)*int64(batch)), "events/run")
 		})
 	}
 }

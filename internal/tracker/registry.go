@@ -3,6 +3,7 @@ package tracker
 import (
 	"fmt"
 
+	"autorfm/internal/arena"
 	"autorfm/internal/plugin"
 	"autorfm/internal/rng"
 )
@@ -23,6 +24,13 @@ type Env struct {
 	// R is the bank's device-side PRNG. Trackers must draw all randomness
 	// from it — never from package state — to keep runs deterministic.
 	R *rng.Source
+	// Arena, when non-nil, is where the tracker should carve its tables
+	// (slot arrays, FIFOs, index maps) instead of the heap. The batched
+	// lane path (sim.RunBatch) supplies one per lane so every lane's
+	// tracker state is contiguous and warm-machine Resets re-carve instead
+	// of reallocating. Purely a placement hint: carved state behaves
+	// identically to heap state.
+	Arena *arena.Arena
 }
 
 // Factory builds one tracker instance from a parsed parameter spec. It is
@@ -60,11 +68,31 @@ func FromSpec(selector string) (func(env Env) (Tracker, error), error) {
 	if err != nil {
 		return nil, fmt.Errorf("tracker: %w", err)
 	}
+	// The first build works on a tracked clone and runs the full Finish
+	// check (unknown keys, conversion errors). Once it succeeds, later
+	// builds — 31 more banks per device reset, every reset — reuse a single
+	// trusted clone whose getters skip consumed-key bookkeeping, so the
+	// per-bank rebuild is allocation-free. The returned builder is not safe
+	// for concurrent use; every caller resolves its own via FromSpec and
+	// drives it from one goroutine.
+	var reuse struct {
+		spec  plugin.Spec
+		ready bool
+	}
 	return func(env Env) (Tracker, error) {
-		s := spec.Clone()
-		trk, err := f(&s, env)
+		sp := &reuse.spec
+		if !reuse.ready {
+			s := spec.Clone()
+			sp = &s
+		}
+		trk, err := f(sp, env)
 		if err != nil {
 			return nil, fmt.Errorf("tracker %q: %w", spec.Name, err)
+		}
+		if !reuse.ready {
+			reuse.spec = spec.Clone()
+			reuse.spec.Trust()
+			reuse.ready = true
 		}
 		return trk, nil
 	}, nil
@@ -110,7 +138,7 @@ func init() {
 		if window < 1 || fifo < 1 {
 			return nil, fmt.Errorf("window %d / fifo %d below 1", window, fifo)
 		}
-		return NewPrIDE(window, fifo, env.R), nil
+		return NewPrIDEIn(env.Arena, window, fifo, env.R), nil
 	})
 
 	Register(plugin.Info{
@@ -127,7 +155,7 @@ func init() {
 		if buf < 1 {
 			return nil, fmt.Errorf("buf %d < 1", buf)
 		}
-		return NewPARFM(buf, env.R), nil
+		return NewPARFMIn(env.Arena, buf, env.R), nil
 	})
 
 	Register(plugin.Info{
@@ -161,7 +189,7 @@ func init() {
 		if entries < 1 {
 			return nil, fmt.Errorf("entries %d < 1", entries)
 		}
-		return NewMithril(entries), nil
+		return NewMithrilIn(env.Arena, entries), nil
 	})
 
 	Register(plugin.Info{
@@ -180,7 +208,7 @@ func init() {
 		if entries < 1 || threshold < 1 {
 			return nil, fmt.Errorf("entries %d / threshold %d below 1", entries, threshold)
 		}
-		return NewGraphene(entries, threshold), nil
+		return NewGrapheneIn(env.Arena, entries, threshold), nil
 	})
 
 	Register(plugin.Info{
@@ -197,6 +225,6 @@ func init() {
 		if threshold < 2 {
 			return nil, fmt.Errorf("threshold %d < 2", threshold)
 		}
-		return NewTWiCe(threshold), nil
+		return NewTWiCeIn(env.Arena, threshold), nil
 	})
 }
