@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 	"autorfm/internal/dist"
 	"autorfm/internal/fault"
 	"autorfm/internal/mitigation"
+	"autorfm/internal/obs"
 	"autorfm/internal/plugin"
 	"autorfm/internal/runner"
 	"autorfm/internal/sim"
@@ -140,6 +142,7 @@ func run() int {
 		resume  = flag.String("resume", "", "JSON-lines checkpoint file: preload completed jobs from it and append new ones")
 		timeout = flag.Duration("timeout", 0, "per-job wall-clock limit (0 = none); an expired job renders as ERR")
 		workURL = flag.String("worker", "", "run as a distributed sweep worker for the autorfm-coord at this URL instead of driving experiments")
+		flight  = flag.Bool("flight", false, "worker mode: arm the failure flight recorder — each job runs with bounded forensic probes and a dying job ships a crash snapshot with its result (supersedes -metrics instrumentation, disables -batch grouping)")
 		report  = flag.String("report", "", "write the experiment tables to this file (deterministic bytes; compare against autorfm-coord -report)")
 
 		chaos     = flag.Float64("chaos", 0, "chaos probability: each job independently panics with this probability (engine stress test)")
@@ -263,17 +266,20 @@ func run() int {
 	if *httpAddr != "" {
 		sweep = telemetry.NewSweepStatus()
 		telemetry.PublishSweep(sweep)
+		// Prometheus text-format mirror of the expvar snapshot, on the same
+		// DefaultServeMux ServeIntrospection serves.
+		http.Handle("/metrics", obs.SweepMetricsHandler(sweep))
 		addr, err := telemetry.ServeIntrospection(*httpAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "introspection: http://%s/debug/vars http://%s/debug/pprof/\n", addr, addr)
+		fmt.Fprintf(os.Stderr, "introspection: http://%s/debug/vars http://%s/metrics http://%s/debug/pprof/\n", addr, addr, addr)
 	}
 	if !*quiet || sweep != nil {
 		pool.OnProgress = func(p runner.Progress) {
 			if sweep != nil {
-				sweep.Update(p.Done, p.Total, p.CacheHits, p.Failed, p.Events, p.Elapsed, p.ETA)
+				sweep.Update(p.Done, p.Total, p.CacheHits, p.Failed, p.Events, p.Elapsed, p.SimElapsed, p.ETA)
 			}
 			if *quiet {
 				return
@@ -349,10 +355,11 @@ func run() int {
 			logw = os.Stderr
 		}
 		stats, err := dist.RunWorker(ctx, dist.WorkerOptions{
-			URL:  *workURL,
-			Name: fmt.Sprintf("%s-%d", name, os.Getpid()),
-			Pool: pool,
-			Log:  logw,
+			URL:    *workURL,
+			Name:   fmt.Sprintf("%s-%d", name, os.Getpid()),
+			Pool:   pool,
+			Log:    logw,
+			Flight: *flight,
 		})
 		fmt.Fprintf(os.Stderr, "worker: %d jobs completed (%d stolen), %d request retries\n",
 			stats.Completed, stats.Stolen, stats.Retries)

@@ -4,21 +4,43 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"autorfm"
 	"autorfm/internal/dist"
+	"autorfm/internal/fault"
+	"autorfm/internal/obs"
 	"autorfm/internal/telemetry"
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// exportTo writes one trace artifact atomically enough for CI consumers: the
+// file only exists with complete contents or not at all (temp + rename).
+func exportTo(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func run() int {
@@ -36,6 +58,11 @@ func run() int {
 		maxLeases = flag.Int("max-leases", 2, "max concurrent leases per job, including the original (2 = one work-steal)")
 		report    = flag.String("report", "", "write the experiment tables to this file (deterministic bytes; compare against a local autorfm-bench -report)")
 		linger    = flag.Duration("linger", 0, "keep serving /status and /debug/vars this long after the sweep completes")
+
+		spanLog   = flag.String("span-log", "", "write the merged job-lifecycle span log (autorfm-spans/v1 JSON lines) to this file after the sweep; enables span tracing")
+		spanTrace = flag.String("span-trace", "", "write a Perfetto-loadable Chrome trace JSON (one track per worker) to this file after the sweep; enables span tracing")
+		flightDir = flag.String("flight-dir", "", "directory for worker flight-record blobs (default: <store>.flight when -store is set, else in-memory)")
+		chaos     = flag.Float64("chaos", 0, "chaos probability: each job independently panics on its worker with this probability (fleet stress test; decisions are deterministic per fault seed and job key, exactly as autorfm-bench -chaos)")
 	)
 	flag.Parse()
 
@@ -56,6 +83,14 @@ func run() int {
 		sc.Workloads = strings.Split(*wls, ",")
 	}
 	sc.Seed = *seed
+	// The fault config travels inside each job's sim.Config, so workers
+	// need no flags: the doomed subset is a pure function of the seed and
+	// the job key on any machine.
+	sc.Fault = fault.Config{Seed: *seed, ChaosProb: *chaos}
+	if err := sc.Fault.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	if err := sc.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -92,6 +127,26 @@ func run() int {
 	coord.MaxLeasesPerJob = *maxLeases
 	coord.Status = telemetry.NewCoordStatus()
 	telemetry.PublishCoord(coord.Status)
+
+	// Fleet metrics are always on (a few gauges per heartbeat); span tracing
+	// only when an export path asks for it, so workers skip span buffering on
+	// plain sweeps.
+	coord.Trace = *spanLog != "" || *spanTrace != ""
+	coord.Fleet = obs.NewFleet()
+	obs.PublishFleet(coord.Fleet)
+	fdir := *flightDir
+	if fdir == "" && *storePath != "" {
+		fdir = *storePath + ".flight"
+	}
+	flights, err := obs.NewFlightStore(fdir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	coord.Flights = flights
+	if fdir != "" {
+		fmt.Fprintf(os.Stderr, "flight records: %s\n", fdir)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -192,6 +247,28 @@ func run() int {
 			break
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+	// Export traces only after the dismissal wait: every straggler upload and
+	// lease retirement above contributes spans, so exporting earlier would
+	// truncate the last jobs' lifecycles.
+	if *spanLog != "" {
+		if err := exportTo(*spanLog, coord.WriteSpanLog); err != nil {
+			fmt.Fprintf(os.Stderr, "span log: %v\n", err)
+			failed++
+		} else {
+			fmt.Fprintf(os.Stderr, "span log: %s (%d spans)\n", *spanLog, len(coord.Spans()))
+		}
+	}
+	if *spanTrace != "" {
+		if err := exportTo(*spanTrace, coord.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "span trace: %v\n", err)
+			failed++
+		} else {
+			fmt.Fprintf(os.Stderr, "span trace: %s (load in Perfetto or chrome://tracing)\n", *spanTrace)
+		}
+	}
+	if ids, err := flights.IDs(); err == nil && len(ids) > 0 {
+		fmt.Fprintf(os.Stderr, "flight records: %d captured (ERR footnotes carry [flight <id>] references)\n", len(ids))
 	}
 	s := coord.Snapshot()
 	fmt.Fprintf(os.Stderr, "coordinator: %d jobs (%d from store, %d uploaded), %d requeues, %d steals, %d duplicate results\n",

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
 
+	"autorfm/internal/obs"
 	"autorfm/internal/sim"
 	"autorfm/internal/telemetry"
 )
@@ -30,20 +32,39 @@ const (
 type job struct {
 	key    string
 	cfg    sim.Config
-	order  int // submission order, for deterministic queue behavior
+	family string // stall-detector grouping: the config identity minus workload
+	order  int    // submission order, for deterministic queue behavior
 	state  jobState
 	leases int // live leases (>1 while a straggler is being stolen)
 	res    sim.Result
 	err    error         // deterministic job failure, verbatim from the worker
 	done   chan struct{} // closed when state becomes jobDone
+
+	// Observability, populated only when Coordinator.Trace is on.
+	attempts  int // lease grants so far (numbers LeaseResponse.Attempt, 1-based)
+	spans     []obs.Span
+	spansLost int // spans dropped past maxJobSpans
 }
+
+// maxJobSpans bounds one job's lifecycle trace: a handful of phases per
+// attempt plus bounded heartbeat instants fits comfortably; a job requeued
+// in a pathological churn loop must not grow without bound.
+const maxJobSpans = 256
+
+// maxHeartbeatSpans bounds the per-lease heartbeat instants recorded; the
+// renewals past it still renew, they just stop appearing in the trace.
+const maxHeartbeatSpans = 16
 
 // lease is one outstanding grant of a job to a worker.
 type lease struct {
-	id      uint64
-	key     string
-	worker  string
-	expires time.Time
+	id       uint64
+	key      string
+	worker   string
+	expires  time.Time
+	granted  time.Time
+	attempt  int  // this grant's 1-based attempt number on its job
+	beats    int  // heartbeats received (bounds the recorded instants)
+	profiled bool // stall profile already requested once
 }
 
 // Coordinator owns a sweep's job list and serves the lease protocol. It
@@ -67,6 +88,23 @@ type Coordinator struct {
 	// state change (publish it with telemetry.PublishCoord to serve the
 	// "autorfm.coord" expvar).
 	Status *telemetry.CoordStatus
+	// Trace enables span tracing: the coordinator records every job's
+	// lifecycle (submit, lease, heartbeat, requeue, steal, upload) and asks
+	// workers, via LeaseResponse.Trace, to record and upload their
+	// execution phases. Export the merged trace with WriteSpanLog /
+	// WriteChromeTrace after Drain. Off by default: recording is bounded
+	// per job but not free.
+	Trace bool
+	// Fleet, when non-nil, aggregates the fleet metrics view — per-worker
+	// gauges from heartbeat piggybacks, per-family latency percentiles from
+	// completions — and powers the stall detector (a lease running past its
+	// family's rolling p99 gets one profile-capture request). Publish it
+	// with obs.PublishFleet; Handler serves it at /metrics either way.
+	Fleet *obs.Fleet
+	// Flights, when non-nil, persists the flight records failed (or
+	// stall-profiled) jobs upload; the ERR footnote then carries the
+	// record's content address as " [flight <id>]".
+	Flights *obs.FlightStore
 
 	store *Store
 
@@ -129,14 +167,16 @@ func (c *Coordinator) RunAll(ctx context.Context, cfgs []sim.Config) ([]sim.Resu
 		}
 		j, ok := c.jobs[key]
 		if !ok {
-			j = &job{key: key, cfg: cfg, order: len(c.jobs), done: make(chan struct{})}
+			j = &job{key: key, cfg: cfg, family: familyOf(&cfg), order: len(c.jobs), done: make(chan struct{})}
 			if res, hit := c.store.Get(key); hit {
 				j.state = jobDone
 				j.res = res
 				c.storeHits++
+				c.spanLocked(j, obs.Span{Name: obs.SpanStoreHit, StartUS: c.now().UnixMicro()})
 				close(j.done)
 			} else {
 				c.queue = append(c.queue, key)
+				c.spanLocked(j, obs.Span{Name: obs.SpanSubmit, StartUS: c.now().UnixMicro()})
 			}
 			c.jobs[key] = j
 		}
@@ -169,6 +209,7 @@ func (c *Coordinator) Lease(worker string) LeaseResponse {
 	defer c.mu.Unlock()
 	now := c.now()
 	c.workers[worker] = now
+	c.Fleet.Seen(worker)
 	c.expireLocked(now)
 
 	// Pending work first. Jobs can complete while queued (a stolen
@@ -187,6 +228,7 @@ func (c *Coordinator) Lease(worker string) LeaseResponse {
 	// unless this worker already holds one of its leases.
 	if j := c.stealCandidateLocked(worker); j != nil {
 		c.steals++
+		c.Fleet.Steal()
 		return c.grantLocked(j, worker, now, true)
 	}
 
@@ -205,10 +247,20 @@ func (c *Coordinator) Lease(worker string) LeaseResponse {
 // grantLocked issues a lease on j to worker.
 func (c *Coordinator) grantLocked(j *job, worker string, now time.Time, stolen bool) LeaseResponse {
 	c.nextLease++
-	l := &lease{id: c.nextLease, key: j.key, worker: worker, expires: now.Add(c.LeaseTTL)}
+	j.attempts++
+	l := &lease{
+		id: c.nextLease, key: j.key, worker: worker,
+		expires: now.Add(c.LeaseTTL), granted: now, attempt: j.attempts,
+	}
 	c.leases[l.id] = l
 	j.state = jobLeased
 	j.leases++
+	if stolen {
+		c.spanLocked(j, obs.Span{
+			Name: obs.SpanSteal, Worker: worker, Attempt: l.attempt,
+			LeaseID: l.id, StartUS: now.UnixMicro(),
+		})
+	}
 	c.publishLocked()
 	return LeaseResponse{
 		Status:  StatusJob,
@@ -217,6 +269,8 @@ func (c *Coordinator) grantLocked(j *job, worker string, now time.Time, stolen b
 		LeaseID: l.id,
 		TTLMS:   c.LeaseTTL.Milliseconds(),
 		Stolen:  stolen,
+		Attempt: l.attempt,
+		Trace:   c.Trace,
 	}
 }
 
@@ -248,19 +302,45 @@ func (c *Coordinator) stealCandidateLocked(worker string) *job {
 	return best
 }
 
-// Heartbeat renews a lease, reporting whether it is still live.
-func (c *Coordinator) Heartbeat(worker string, leaseID uint64) bool {
+// Heartbeat renews a lease. OK=false in the response means the lease is no
+// longer live. The optional metrics payload feeds the fleet view, and the
+// stall detector may set Profile to ask the worker for one goroutine
+// profile when the lease has run past its config family's rolling p99.
+func (c *Coordinator) Heartbeat(worker string, leaseID uint64, m *obs.WorkerMetrics) HeartbeatResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.now()
 	c.workers[worker] = now
 	c.expireLocked(now)
 	l, ok := c.leases[leaseID]
+	var age time.Duration
+	if ok {
+		age = now.Sub(l.granted)
+	}
+	c.Fleet.Heartbeat(worker, age, m)
 	if !ok {
-		return false
+		return HeartbeatResponse{}
 	}
 	l.expires = now.Add(c.LeaseTTL)
-	return true
+	l.beats++
+	j := c.jobs[l.key]
+	if l.beats <= maxHeartbeatSpans {
+		c.spanLocked(j, obs.Span{
+			Name: obs.SpanHeartbeat, Worker: worker, Attempt: l.attempt,
+			LeaseID: l.id, StartUS: now.UnixMicro(),
+		})
+	}
+	resp := HeartbeatResponse{OK: true}
+	if j != nil && !l.profiled && c.Fleet.StallCheck(j.family, age) {
+		l.profiled = true
+		resp.Profile = true
+		c.spanLocked(j, obs.Span{
+			Name: obs.SpanStall, Worker: worker, Attempt: l.attempt,
+			LeaseID: l.id, StartUS: now.UnixMicro(),
+			Detail: fmt.Sprintf("lease age %dms past family %q p99", age.Milliseconds(), j.family),
+		})
+	}
+	return resp
 }
 
 // Complete records an uploaded result (or deterministic job error). It is
@@ -268,7 +348,14 @@ func (c *Coordinator) Heartbeat(worker string, leaseID uint64) bool {
 // unknown leases — or from before a coordinator restart — are all accepted,
 // because a result is validated by its content address, not its lease.
 // First result wins; later duplicates are acknowledged and dropped.
-func (c *Coordinator) Complete(worker string, leaseID uint64, key string, res sim.Result, errStr string) (ResultResponse, error) {
+//
+// The request's optional observability payloads are absorbed here: a
+// flight record is persisted to Flights (its ID suffixed to the ERR
+// footnote as " [flight <id>]"), worker-side spans are merged into the
+// job's lifecycle trace, and the completing lease's end-to-end latency
+// feeds the fleet's per-family percentiles.
+func (c *Coordinator) Complete(req ResultRequest) (ResultResponse, error) {
+	worker, leaseID, key, res, errStr := req.Worker, req.LeaseID, req.Key, req.Result, req.Error
 	if key == "" {
 		return ResultResponse{}, errors.New("dist: result upload without a key")
 	}
@@ -279,13 +366,47 @@ func (c *Coordinator) Complete(worker string, leaseID uint64, key string, res si
 	defer c.mu.Unlock()
 	now := c.now()
 	c.workers[worker] = now
+	c.Fleet.Seen(worker)
+
+	// Persist the flight record (if any) before anything can short-circuit:
+	// a duplicate upload's forensics are still forensics.
+	flightID := ""
+	if req.Flight != nil && c.Flights != nil {
+		id, err := c.Flights.Put(req.Flight)
+		if err == nil {
+			flightID = id
+		}
+		// A failed persist degrades to a plain footnote; the result itself
+		// must never be rejected over its black box.
+	}
+
+	var attempt int
+	var latency time.Duration
 	if l, ok := c.leases[leaseID]; ok && l.key == key {
+		attempt = l.attempt
+		latency = now.Sub(l.granted)
+		c.leaseSpanLocked(l, now, "result")
 		c.releaseLocked(l)
 	}
 
 	j, ok := c.jobs[key]
+	if ok && c.Trace {
+		// Merge the worker-recorded execution phases into the lifecycle
+		// trace regardless of who wins the result race: the work happened.
+		for _, s := range req.Spans {
+			s.Key = key
+			if s.Worker == "" {
+				s.Worker = worker
+			}
+			c.spanLocked(j, s)
+		}
+	}
 	if ok && j.state == jobDone {
 		c.duplicates++
+		c.spanLocked(j, obs.Span{
+			Name: obs.SpanDuplicate, Worker: worker, Attempt: attempt,
+			LeaseID: leaseID, StartUS: now.UnixMicro(),
+		})
 		c.publishLocked()
 		return ResultResponse{Accepted: true, Duplicate: true}, nil
 	}
@@ -307,15 +428,33 @@ func (c *Coordinator) Complete(worker string, leaseID uint64, key string, res si
 		return ResultResponse{Accepted: true}, nil
 	}
 	if errStr != "" {
+		if flightID != "" {
+			// The footnote carries the black box's address. This is the one
+			// place a dist report's failure footnotes diverge byte-wise from
+			// a local run's — only for ERR cells, only with Flights on.
+			errStr += " [flight " + flightID + "]"
+		}
 		j.err = errors.New(errStr)
 	} else {
 		j.res = res
 	}
 	j.state = jobDone
 	c.uploads++
+	detail := ""
+	if flightID != "" {
+		detail = "flight " + flightID
+	}
+	c.spanLocked(j, obs.Span{
+		Name: obs.SpanUpload, Worker: worker, Attempt: attempt,
+		LeaseID: leaseID, StartUS: now.UnixMicro(), Detail: detail,
+	})
+	if latency > 0 {
+		c.Fleet.JobDone(j.family, latency)
+	}
 	// Retire every other live lease on this job (work-steal losers).
 	for id, l := range c.leases {
 		if l.key == key {
+			c.leaseSpanLocked(l, now, "superseded")
 			delete(c.leases, id)
 			j.leases--
 		}
@@ -336,6 +475,74 @@ func (c *Coordinator) releaseLocked(l *lease) {
 	}
 }
 
+// spanLocked appends one lifecycle span to j's bounded trace when tracing
+// is on. The span's Key is stamped from the job, so callers only fill the
+// event fields.
+func (c *Coordinator) spanLocked(j *job, s obs.Span) {
+	if !c.Trace || j == nil {
+		return
+	}
+	if len(j.spans) >= maxJobSpans {
+		j.spansLost++
+		return
+	}
+	s.Key = j.key
+	j.spans = append(j.spans, s)
+}
+
+// leaseSpanLocked closes a lease's lifetime span: granted at its grant
+// time, retired now, with the retirement cause as the detail.
+func (c *Coordinator) leaseSpanLocked(l *lease, end time.Time, detail string) {
+	c.spanLocked(c.jobs[l.key], obs.Span{
+		Name: obs.SpanLease, Worker: l.worker, Attempt: l.attempt,
+		LeaseID: l.id, StartUS: l.granted.UnixMicro(), EndUS: end.UnixMicro(),
+		Detail: detail,
+	})
+}
+
+// familyOf derives a job's config family — its identity minus the
+// workload, mirroring exp's job labels — so the fleet's latency
+// percentiles pool jobs whose run times are comparable.
+func familyOf(cfg *sim.Config) string {
+	f := fmt.Sprintf("%v", cfg.Mode)
+	if cfg.TH > 0 {
+		f += fmt.Sprintf("-%d", cfg.TH)
+	}
+	if cfg.Mapping != "" {
+		f += "/" + cfg.Mapping
+	}
+	if cfg.Tracker != "" {
+		f += "/" + cfg.Tracker
+	}
+	return f
+}
+
+// Spans returns a merged copy of every job's lifecycle spans, sorted by
+// start time (empty unless Trace is on).
+func (c *Coordinator) Spans() []obs.Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []obs.Span
+	for _, j := range c.jobs {
+		out = append(out, j.spans...)
+	}
+	obs.SortSpans(out)
+	return out
+}
+
+// WriteSpanLog exports the merged lifecycle trace as the autorfm-spans/v1
+// JSON-lines log.
+func (c *Coordinator) WriteSpanLog(w io.Writer) error {
+	return obs.WriteSpanLog(w, c.Spans())
+}
+
+// WriteChromeTrace exports the merged lifecycle trace as Chrome
+// trace-event JSON — one track per worker — loadable in Perfetto or
+// chrome://tracing.
+func (c *Coordinator) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeSpans(w, c.Spans())
+}
+
 // expireLocked requeues every job whose leases have all expired — the
 // crashed-worker path. A job with one live lease left (its thief) stays
 // leased.
@@ -344,6 +551,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		if now.Before(l.expires) {
 			continue
 		}
+		c.leaseSpanLocked(l, now, "expired")
 		delete(c.leases, id)
 		j := c.jobs[l.key]
 		if j == nil || j.state != jobLeased {
@@ -355,6 +563,12 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			j.state = jobPending
 			c.queue = append(c.queue, j.key)
 			c.requeues++
+			c.Fleet.Requeue()
+			c.spanLocked(j, obs.Span{
+				Name: obs.SpanRequeue, Worker: l.worker, Attempt: l.attempt,
+				LeaseID: l.id, StartUS: now.UnixMicro(),
+				Detail: "lease expired (worker crashed or partitioned)",
+			})
 		}
 	}
 }
@@ -437,14 +651,14 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decode(w, r, &req, func() string { return req.Proto }) {
 			return
 		}
-		writeJSON(w, HeartbeatResponse{OK: c.Heartbeat(req.Worker, req.LeaseID)})
+		writeJSON(w, c.Heartbeat(req.Worker, req.LeaseID, req.Metrics))
 	})
 	mux.HandleFunc("/result", func(w http.ResponseWriter, r *http.Request) {
 		var req ResultRequest
 		if !decode(w, r, &req, func() string { return req.Proto }) {
 			return
 		}
-		resp, err := c.Complete(req.Worker, req.LeaseID, req.Key, req.Result, req.Error)
+		resp, err := c.Complete(req)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -455,6 +669,9 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, c.Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	// Prometheus text-format fleet gauges; an empty exposition when no
+	// Fleet aggregator is wired (obs handles nil).
+	mux.Handle("/metrics", obs.FleetMetricsHandler(c.Fleet))
 	return mux
 }
 

@@ -161,7 +161,7 @@ func TestLeaseExpiryRequeues(t *testing.T) {
 
 	// Heartbeats keep it held...
 	now = now.Add(c.LeaseTTL / 2)
-	if !c.Heartbeat("ghost", ghost.LeaseID) {
+	if !c.Heartbeat("ghost", ghost.LeaseID, nil).OK {
 		t.Fatal("heartbeat within TTL rejected")
 	}
 	// ...until they stop: one TTL later the lease expires and the job
@@ -174,16 +174,16 @@ func TestLeaseExpiryRequeues(t *testing.T) {
 	if release.Stolen {
 		t.Error("requeued job marked stolen; expiry is a requeue, not a steal")
 	}
-	if c.Heartbeat("ghost", ghost.LeaseID) {
+	if c.Heartbeat("ghost", ghost.LeaseID, nil).OK {
 		t.Error("expired lease still heartbeats")
 	}
 
-	if resp, err := c.Complete("live", release.LeaseID, release.Key, want, ""); err != nil || !resp.Accepted || resp.Duplicate {
+	if resp, err := c.Complete(ResultRequest{Worker: "live", LeaseID: release.LeaseID, Key: release.Key, Result: want}); err != nil || !resp.Accepted || resp.Duplicate {
 		t.Fatalf("live completion: %+v err=%v", resp, err)
 	}
 	// The ghost comes back from the dead and uploads anyway: acknowledged,
 	// discarded.
-	if resp, err := c.Complete("ghost", ghost.LeaseID, ghost.Key, want, ""); err != nil || !resp.Duplicate {
+	if resp, err := c.Complete(ResultRequest{Worker: "ghost", LeaseID: ghost.LeaseID, Key: ghost.Key, Result: want}); err != nil || !resp.Duplicate {
 		t.Fatalf("ghost late upload: %+v err=%v, want duplicate ack", resp, err)
 	}
 
@@ -231,15 +231,15 @@ func TestWorkStealFirstResultWins(t *testing.T) {
 	}
 
 	// The thief finishes first.
-	if resp, err := c.Complete("fast", thief.LeaseID, thief.Key, want, ""); err != nil || !resp.Accepted || resp.Duplicate {
+	if resp, err := c.Complete(ResultRequest{Worker: "fast", LeaseID: thief.LeaseID, Key: thief.Key, Result: want}); err != nil || !resp.Accepted || resp.Duplicate {
 		t.Fatalf("thief completion: %+v err=%v", resp, err)
 	}
 	// The straggler's lease was retired with the job; its upload is a
 	// duplicate.
-	if c.Heartbeat("slow", straggler.LeaseID) {
+	if c.Heartbeat("slow", straggler.LeaseID, nil).OK {
 		t.Error("straggler lease outlived its job")
 	}
-	if resp, err := c.Complete("slow", straggler.LeaseID, straggler.Key, want, ""); err != nil || !resp.Duplicate {
+	if resp, err := c.Complete(ResultRequest{Worker: "slow", LeaseID: straggler.LeaseID, Key: straggler.Key, Result: want}); err != nil || !resp.Duplicate {
 		t.Fatalf("straggler upload: %+v err=%v, want duplicate ack", resp, err)
 	}
 
@@ -271,7 +271,7 @@ func TestCoordinatorRestartResumesFromStore(t *testing.T) {
 		return l.Status == StatusJob
 	})
 	res := run(t, l.Config)
-	if _, err := c1.Complete("w1", l.LeaseID, l.Key, res, ""); err != nil {
+	if _, err := c1.Complete(ResultRequest{Worker: "w1", LeaseID: l.LeaseID, Key: l.Key, Result: res}); err != nil {
 		t.Fatal(err)
 	}
 	cancel()

@@ -1,6 +1,9 @@
 package dist
 
-import "autorfm/internal/sim"
+import (
+	"autorfm/internal/obs"
+	"autorfm/internal/sim"
+)
 
 // The lease protocol is four JSON-over-HTTP POST endpoints served by the
 // coordinator (stdlib net/http only; no third-party transport):
@@ -18,6 +21,15 @@ import "autorfm/internal/sim"
 
 // ProtocolVersion names the wire format. A coordinator rejects mismatched
 // workers with 400 rather than mis-parsing them.
+//
+// PR 10 grew the messages observability fields (LeaseResponse.Attempt and
+// .Trace, HeartbeatRequest.Metrics, HeartbeatResponse.Profile,
+// ResultRequest.Spans and .Flight) without bumping the version: every new
+// field is optional with omitempty, Go's JSON decoding ignores unknown
+// fields, and a missing field decodes to its zero value — so old workers
+// and old coordinators interoperate with new ones (pinned by the
+// TestProtocolCompat* tests). Bump the version only for a change that
+// alters the meaning of an existing field.
 const ProtocolVersion = "autorfm-dist/v1"
 
 // Lease statuses.
@@ -55,6 +67,14 @@ type LeaseResponse struct {
 	// RetryMS, valid when Status == StatusWait, is how long to wait before
 	// polling again.
 	RetryMS int64 `json:"retry_ms,omitempty"`
+	// Attempt numbers this job's lease grants, 1-based: attempt 2 means
+	// the first lease expired (or is being stolen from). Optional;
+	// pre-observability coordinators send 0.
+	Attempt int `json:"attempt,omitempty"`
+	// Trace asks the worker to record execution-phase spans for this job
+	// and upload them with the result. Optional; workers that predate span
+	// tracing ignore it, which only thins the trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // HeartbeatRequest renews a lease.
@@ -62,6 +82,11 @@ type HeartbeatRequest struct {
 	Proto   string `json:"proto"`
 	Worker  string `json:"worker"`
 	LeaseID uint64 `json:"lease_id"`
+	// Metrics piggybacks the worker's cumulative gauges (events simulated,
+	// jobs done, goroutines, heap) on the renewal; the coordinator's fleet
+	// view derives rates and jitter from successive payloads. Optional —
+	// old workers send none and simply have no gauge row.
+	Metrics *obs.WorkerMetrics `json:"metrics,omitempty"`
 }
 
 // HeartbeatResponse acknowledges a renewal. OK=false means the lease is no
@@ -70,6 +95,11 @@ type HeartbeatRequest struct {
 // addressed by config key, so the coordinator accepts them leaseless.
 type HeartbeatResponse struct {
 	OK bool `json:"ok"`
+	// Profile asks the worker to capture a goroutine profile now: the
+	// coordinator's stall detector flagged this lease as running past its
+	// config family's rolling p99. Sent at most once per lease. Optional;
+	// old workers ignore it.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // ResultRequest uploads one finished job. Exactly one of Result and Error
@@ -85,6 +115,16 @@ type ResultRequest struct {
 	Key     string     `json:"key"`
 	Result  sim.Result `json:"result"`
 	Error   string     `json:"error,omitempty"`
+	// Spans carries the worker-side execution-phase spans (queue, run,
+	// profile) recorded while the job ran, when the lease asked for
+	// tracing. Optional; the coordinator merges them into the job's
+	// lifecycle trace.
+	Spans []obs.Span `json:"spans,omitempty"`
+	// Flight carries the worker's flight record when the job died (or a
+	// stall profile was captured): the bounded crash snapshot the
+	// coordinator persists content-addressed next to the result store.
+	// Optional.
+	Flight *obs.FlightRecord `json:"flight,omitempty"`
 }
 
 // ResultResponse acknowledges an upload. Duplicate=true means another

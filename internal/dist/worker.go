@@ -9,11 +9,15 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
 
+	"autorfm/internal/obs"
 	"autorfm/internal/runner"
+	"autorfm/internal/sim"
+	"autorfm/internal/telemetry"
 )
 
 // ErrCoordinatorLost reports that the coordinator stayed unreachable
@@ -50,6 +54,14 @@ type WorkerOptions struct {
 	// Log, when non-nil, receives one line per notable event (lease,
 	// completion, retry, degradation).
 	Log io.Writer
+	// Flight arms the failure flight recorder: every leased job runs with
+	// a bounded command-trace ring and a last-metrics-line sink attached
+	// (via Pool.Instrument — which disables lane batching; forensics cost
+	// throughput), and a job that dies ships a FlightRecord with its
+	// upload. Stall profiles requested by the coordinator ship the same
+	// way. Off by default: the probes are observational-only (results stay
+	// byte-identical) but not free.
+	Flight bool
 }
 
 // WorkerStats summarizes one worker's run.
@@ -88,6 +100,55 @@ func RunWorker(ctx context.Context, opt WorkerOptions) (WorkerStats, error) {
 type worker struct {
 	opt   WorkerOptions
 	stats WorkerStats
+
+	// capture is the per-job flight-recorder arm, reset between jobs. It
+	// always exists (a stall profile can be requested even with Flight
+	// off); its trace/metrics probes are attached only when opt.Flight.
+	capture *obs.Capture
+
+	// spans buffers one job's execution-phase spans allocation-free,
+	// reused across jobs. spanMu orders the pool's phase callbacks, the
+	// heartbeat goroutine's profile instants, and the upload read; cur
+	// scopes recording to the currently leased job.
+	spanMu sync.Mutex
+	spans  *obs.SpanBuffer
+	cur    struct {
+		key     string
+		attempt int
+		leaseID uint64
+		trace   bool
+	}
+}
+
+// recordPhase is installed as Pool.OnJobPhase: it converts the runner's
+// queue/run phase reports into worker-side spans when the current lease
+// asked for tracing. Phase names match the span names by construction
+// (runner.PhaseQueue == obs.SpanQueue etc.).
+func (w *worker) recordPhase(key, phase string, start, end time.Time) {
+	w.spanMu.Lock()
+	defer w.spanMu.Unlock()
+	if !w.cur.trace || key != w.cur.key {
+		return
+	}
+	w.spans.Record(obs.Span{
+		Key: key, Name: phase, Worker: w.opt.Name,
+		Attempt: w.cur.attempt, LeaseID: w.cur.leaseID,
+		StartUS: start.UnixMicro(), EndUS: end.UnixMicro(),
+	})
+}
+
+// recordInstant appends a point event for the current job when tracing.
+func (w *worker) recordInstant(name string) {
+	w.spanMu.Lock()
+	defer w.spanMu.Unlock()
+	if !w.cur.trace {
+		return
+	}
+	w.spans.Record(obs.Span{
+		Key: w.cur.key, Name: name, Worker: w.opt.Name,
+		Attempt: w.cur.attempt, LeaseID: w.cur.leaseID,
+		StartUS: time.Now().UnixMicro(),
+	})
 }
 
 func (w *worker) logf(format string, args ...interface{}) {
@@ -97,6 +158,20 @@ func (w *worker) logf(format string, args ...interface{}) {
 }
 
 func (w *worker) run(ctx context.Context) (WorkerStats, error) {
+	w.capture = obs.NewCapture()
+	w.spans = obs.NewSpanBuffer(0)
+	w.opt.Pool.OnJobPhase = w.recordPhase
+	if w.opt.Flight {
+		// Arm the flight recorder on every simulated job: a bounded command
+		// ring plus a last-epoch-line sink, both strictly observational
+		// (results stay byte-identical; TestTelemetryDoesNotChangeResult).
+		w.opt.Pool.Instrument = func(cfg *sim.Config, key string) {
+			cfg.Telemetry = &telemetry.Probe{
+				Metrics: &telemetry.MetricsConfig{Sink: w.capture.Sink(), Run: key},
+				Trace:   w.capture.Trace(),
+			}
+		}
+	}
 	for {
 		var lease LeaseResponse
 		err := w.post(ctx, "/lease", LeaseRequest{Proto: ProtocolVersion, Worker: w.opt.Name}, &lease)
@@ -134,6 +209,14 @@ func (w *worker) serve(ctx context.Context, lease LeaseResponse) error {
 		w.logf("leased %s", shortKey(lease.Key))
 	}
 
+	// Scope span recording and the flight capture to this job.
+	w.spanMu.Lock()
+	w.cur.key, w.cur.attempt, w.cur.leaseID, w.cur.trace =
+		lease.Key, lease.Attempt, lease.LeaseID, lease.Trace
+	w.spans.Reset()
+	w.spanMu.Unlock()
+	w.capture.Reset()
+
 	// Heartbeat in the background for as long as the simulation runs.
 	// Failures are logged, never fatal: a lost lease only means another
 	// worker may duplicate this job, and first-result-wins absorbs that.
@@ -153,14 +236,33 @@ func (w *worker) serve(ctx context.Context, lease LeaseResponse) error {
 			case <-hbCtx.Done():
 				return
 			case <-t.C:
+				// Piggyback cumulative worker gauges on the renewal; old
+				// coordinators ignore the extra field.
+				var mem runtime.MemStats
+				runtime.ReadMemStats(&mem)
 				var resp HeartbeatResponse
 				err := w.post(hbCtx, "/heartbeat", HeartbeatRequest{
 					Proto: ProtocolVersion, Worker: w.opt.Name, LeaseID: lease.LeaseID,
+					Metrics: &obs.WorkerMetrics{
+						Events:     w.opt.Pool.SimulatedEvents(),
+						JobsDone:   w.stats.Completed,
+						Goroutines: runtime.NumGoroutine(),
+						HeapBytes:  mem.HeapAlloc,
+					},
 				}, &resp)
 				if err != nil && hbCtx.Err() == nil {
 					w.logf("heartbeat for %s failed: %v (continuing)", shortKey(lease.Key), err)
-				} else if err == nil && !resp.OK {
+					continue
+				}
+				if err == nil && !resp.OK {
 					w.logf("lease on %s no longer live (continuing; upload is leaseless)", shortKey(lease.Key))
+				}
+				if err == nil && resp.Profile {
+					// The coordinator's stall detector flagged this job:
+					// park a goroutine profile; it ships with the upload.
+					w.capture.CaptureProfile()
+					w.recordInstant(obs.SpanProfile)
+					w.logf("captured stall profile for %s at coordinator request", shortKey(lease.Key))
 				}
 			}
 		}
@@ -179,12 +281,36 @@ func (w *worker) serve(ctx context.Context, lease LeaseResponse) error {
 	req := ResultRequest{
 		Proto: ProtocolVersion, Worker: w.opt.Name, LeaseID: lease.LeaseID, Key: lease.Key,
 	}
+	flightErr, flightStack := "", []byte(nil)
 	if simErr != nil {
 		// Deterministic job failure (panic, timeout, rejected config):
 		// ship the rendered cause so coordinator footnotes match local runs.
 		req.Error = simErr.Error()
+		if w.opt.Flight {
+			flightErr = simErr.Error()
+			var pe *runner.PanicError
+			if errors.As(simErr, &pe) {
+				flightStack = pe.Stack
+			}
+		}
 	} else {
 		req.Result = res
+	}
+	if flightErr == "" && w.capture.Profile() != nil {
+		// A stall profile was captured: ship it as a flight record so the
+		// evidence outlives the worker, even when the job then finished.
+		flightErr = req.Error
+		if flightErr == "" {
+			flightErr = "stall: goroutine profile captured at coordinator request"
+		}
+	}
+	if flightErr != "" {
+		req.Flight = w.capture.BuildFlight(lease.Key, w.opt.Name, lease.Attempt, flightErr, flightStack)
+	}
+	if lease.Trace {
+		w.spanMu.Lock()
+		req.Spans = append([]obs.Span(nil), w.spans.Spans()...)
+		w.spanMu.Unlock()
 	}
 	var resp ResultResponse
 	if err := w.post(ctx, "/result", req, &resp); err != nil {

@@ -1,0 +1,87 @@
+package obs
+
+// CI's dist-drill job generates a span log and flight records with the
+// real binaries, then runs this test against them:
+//
+//	AUTORFM_SPANS_FILE=spans.jsonl AUTORFM_FLIGHT_DIR=store.flight \
+//	    go test -run TestValidateSpanFiles ./internal/obs
+//
+// Keeping the validator a Go test keeps CI free of external JSON tooling
+// and keeps the schema check identical to what the unit tests enforce.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidateSpanFiles(t *testing.T) {
+	sf := os.Getenv("AUTORFM_SPANS_FILE")
+	fd := os.Getenv("AUTORFM_FLIGHT_DIR")
+	if sf == "" && fd == "" {
+		t.Skip("set AUTORFM_SPANS_FILE / AUTORFM_FLIGHT_DIR to validate generated fleet artifacts")
+	}
+	if sf != "" {
+		f, err := os.Open(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		lines := 0
+		names := map[string]int{}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(nil, 1<<20)
+		for sc.Scan() {
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			lines++
+			if err := ValidateSpanLine(sc.Bytes()); err != nil {
+				t.Errorf("%s line %d: %v", sf, lines, err)
+			}
+			var s Span
+			if err := json.Unmarshal(sc.Bytes(), &s); err == nil {
+				names[s.Name]++
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if lines == 0 {
+			t.Errorf("%s holds no spans", sf)
+		}
+		for _, required := range []string{SpanSubmit, SpanLease, SpanUpload} {
+			if names[required] == 0 {
+				t.Errorf("%s: no %q spans — the log does not cover a job lifecycle", sf, required)
+			}
+		}
+		t.Logf("%s: %d valid spans %v", sf, lines, names)
+	}
+	if fd != "" {
+		entries, err := os.ReadDir(fd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records := 0
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(fd, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateFlight(data); err != nil {
+				t.Errorf("%s: %v", e.Name(), err)
+			}
+			records++
+		}
+		if records == 0 {
+			t.Errorf("%s holds no flight records", fd)
+		}
+		t.Logf("%s: %d valid flight records", fd, records)
+	}
+}

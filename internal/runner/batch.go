@@ -144,17 +144,37 @@ func (p *Pool) executeGroup(ctx context.Context, g *batchGroup) {
 	}
 	var results []sim.Result
 	var errs []error
+	var qStart, rStart, rEnd time.Time
+	if p.OnJobPhase != nil {
+		qStart = p.clock()
+	}
 	select {
 	case p.sem <- struct{}{}:
+		p.markSimStarted()
+		if p.OnJobPhase != nil {
+			rStart = p.clock()
+		}
 		m := p.getMachine()
 		results, errs = m.RunBatch(ctx, g.cfgs[0], seeds)
 		p.putMachine(m)
+		if p.OnJobPhase != nil {
+			rEnd = p.clock()
+		}
 		<-p.sem
 	case <-ctx.Done():
 		results = make([]sim.Result, len(seeds))
 		errs = make([]error, len(seeds))
 		for i := range errs {
 			errs[i] = ctx.Err()
+		}
+	}
+
+	if p.OnJobPhase != nil && !rStart.IsZero() {
+		// Every lane shares the group's single machine run; report the
+		// group window under each lane's own key.
+		for _, k := range g.keys {
+			p.OnJobPhase(k, PhaseQueue, qStart, rStart)
+			p.OnJobPhase(k, PhaseRun, rStart, rEnd)
 		}
 	}
 

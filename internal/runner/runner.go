@@ -73,11 +73,27 @@ type Progress struct {
 	Events int64
 	// Elapsed is the time since the pool ran its first job.
 	Elapsed time.Duration
+	// SimElapsed is the time since the pool started its first actual
+	// simulation — the window throughput rates belong to. It lags Elapsed
+	// when a sweep opens with a cache/checkpoint/store-hit preload (a
+	// resumed sweep answers its prefix in microseconds), and stays zero
+	// until something simulates, so rates computed over it are not skewed
+	// optimistic by the preload.
+	SimElapsed time.Duration
 	// ETA estimates the remaining time from the mean cost of the jobs
 	// actually simulated so far; zero when nothing is pending or no job
 	// has been simulated yet (cache hits carry no timing signal).
 	ETA time.Duration
 }
+
+// Phase names reported to Pool.OnJobPhase. They match the worker-side
+// span names of internal/obs (which runner must not import).
+const (
+	// PhaseQueue is the wait for a worker slot.
+	PhaseQueue = "queue"
+	// PhaseRun is the machine execution of the job.
+	PhaseRun = "run"
+)
 
 // Pool runs simulation jobs on a fixed number of workers with a shared
 // result cache. The zero value is not usable; use New. A Pool is safe for
@@ -110,6 +126,17 @@ type Pool struct {
 	// zero means a small default. Only consulted for jobs with
 	// sim.Config.Batch > 1. Set it before submitting jobs.
 	BatchFlush time.Duration
+
+	// OnJobPhase, when non-nil, is called on the worker goroutine for
+	// every job the pool actually simulates, once per execution phase
+	// (PhaseQueue: the wait for a worker slot; PhaseRun: the machine run)
+	// with the phase's wall-clock bounds — the hook distributed workers
+	// use to record execution spans without the runner importing the
+	// observability layer. Cache hits report no phases. Like Instrument
+	// it must not change the simulation outcome; unlike Instrument it is
+	// compatible with lane batching (each lane reports its group's shared
+	// window). Set it before submitting jobs; calls may be concurrent.
+	OnJobPhase func(key, phase string, start, end time.Time)
 
 	// AutoWiden, when MaxShards > 1, turns idle cores at a sweep's tail
 	// into intra-simulation shard workers: once fewer jobs remain than
@@ -147,13 +174,14 @@ type Pool struct {
 	cfails uint64     // checkpoint writes that returned an error
 	cwarn  sync.Once  // first failure warns on stderr; the rest only count
 
-	pmu       sync.Mutex // guards progress counters and OnProgress calls
-	done      int
-	submitted int
-	hits      int
-	failed    int
-	events    int64
-	started   time.Time
+	pmu        sync.Mutex // guards progress counters and OnProgress calls
+	done       int
+	submitted  int
+	hits       int
+	failed     int
+	events     int64
+	started    time.Time
+	simStarted time.Time // when the first actual simulation began
 }
 
 // entry is one memoized (possibly in-flight) simulation.
@@ -253,12 +281,20 @@ func (p *Pool) Run(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 // *PanicError, applying the per-job timeout, and checkpointing successful
 // results.
 func (p *Pool) simulate(ctx context.Context, cfg sim.Config, key string) (res sim.Result, err error) {
+	var qStart time.Time
+	if p.OnJobPhase != nil {
+		qStart = p.clock()
+	}
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
 		return sim.Result{}, ctx.Err()
 	}
 	defer func() { <-p.sem }()
+	p.markSimStarted()
+	if p.OnJobPhase != nil {
+		p.OnJobPhase(key, PhaseQueue, qStart, p.clock())
+	}
 
 	if p.JobTimeout > 0 {
 		outer := ctx
@@ -288,6 +324,13 @@ func (p *Pool) simulate(ctx context.Context, cfg sim.Config, key string) (res si
 	}
 	m := p.getMachine()
 	defer p.putMachine(m)
+	var rStart time.Time
+	if p.OnJobPhase != nil {
+		rStart = p.clock()
+		// LIFO: runs before the recover defer, so even a panicking job's
+		// run phase gets its end stamp.
+		defer func() { p.OnJobPhase(key, PhaseRun, rStart, p.clock()) }()
+	}
 	res, err = m.RunCtx(ctx, cfg)
 	if err == nil {
 		p.pmu.Lock()
@@ -342,9 +385,21 @@ func (p *Pool) RunAll(ctx context.Context, cfgs []sim.Config) ([]sim.Result, []e
 func (p *Pool) jobSubmitted() {
 	p.pmu.Lock()
 	if p.started.IsZero() {
-		p.started = time.Now()
+		p.started = p.clock()
 	}
 	p.submitted++
+	p.pmu.Unlock()
+}
+
+// markSimStarted anchors the simulation window at the first job that
+// actually reaches a machine. A resumed or store-preloaded sweep answers
+// its cached prefix without ever calling this, so rate and ETA math over
+// Progress.SimElapsed ignores that prefix entirely.
+func (p *Pool) markSimStarted() {
+	p.pmu.Lock()
+	if p.simStarted.IsZero() {
+		p.simStarted = p.clock()
+	}
 	p.pmu.Unlock()
 }
 
@@ -359,26 +414,33 @@ func (p *Pool) jobDone(cached, failed bool) {
 	}
 	cb := p.OnProgress
 	if cb != nil {
+		now := p.clock()
 		snap := Progress{
 			Done:      p.done,
 			Total:     p.submitted,
 			CacheHits: p.hits,
 			Failed:    p.failed,
 			Events:    p.events,
-			Elapsed:   time.Since(p.started),
+			Elapsed:   now.Sub(p.started),
 		}
-		snap.ETA = estimateETA(p.done, p.hits, p.submitted, snap.Elapsed)
+		if !p.simStarted.IsZero() {
+			snap.SimElapsed = now.Sub(p.simStarted)
+		}
+		snap.ETA = estimateETA(p.done, p.hits, p.submitted, snap.SimElapsed)
 		cb(snap)
 	}
 	p.pmu.Unlock()
 }
 
 // estimateETA predicts the remaining wall-clock time of a sweep from the
-// mean cost of the jobs simulated so far. Cache hits are excluded from the
-// per-job cost (they complete in microseconds and would collapse the
-// estimate), so an all-hits prefix yields no estimate rather than a bogus
-// one. Returns 0 — "no estimate" — when nothing is pending, nothing has
-// been simulated, or the clock hasn't advanced; never negative.
+// mean cost of the jobs simulated so far, over the simulation window
+// (Progress.SimElapsed) rather than pool lifetime. Cache hits are
+// excluded from the per-job cost (they complete in microseconds and would
+// collapse the estimate), so an all-hits prefix yields no estimate rather
+// than a bogus one — and a resumed sweep's preload, which completes
+// before the window opens, cannot tilt the estimate optimistic. Returns
+// 0 — "no estimate" — when nothing is pending, nothing has been
+// simulated, or the clock hasn't advanced; never negative.
 func estimateETA(done, hits, total int, elapsed time.Duration) time.Duration {
 	pending := total - done
 	simulated := done - hits

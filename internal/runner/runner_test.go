@@ -513,3 +513,136 @@ func TestProgressFailedAndEvents(t *testing.T) {
 		t.Fatalf("progress events %d, want %d (sum of successful jobs)", last.Events, wantEvents)
 	}
 }
+
+// TestSimWindowExcludesPreload is the regression test for the post-resume
+// rate skew: a sweep that opens with a preloaded (checkpoint/store-hit)
+// prefix must not count the preload's wall time — or its jobs — in the
+// simulation window that throughput and ETA are computed over.
+func TestSimWindowExcludesPreload(t *testing.T) {
+	p := New(1)
+	now := time.Unix(1_000, 0)
+	p.now = func() time.Time { return now }
+	var last Progress
+	p.OnProgress = func(pr Progress) { last = pr }
+
+	// A resumed sweep: 10 jobs submitted, the first 5 answered from the
+	// preloaded cache while the clock stands still.
+	for i := 0; i < 10; i++ {
+		p.jobSubmitted()
+	}
+	for i := 0; i < 5; i++ {
+		p.jobDone(true, false)
+	}
+	if last.SimElapsed != 0 || last.ETA != 0 {
+		t.Fatalf("all-hits prefix: SimElapsed=%v ETA=%v, want 0/0", last.SimElapsed, last.ETA)
+	}
+
+	// 100s pass before the first real simulation gets going (preload I/O,
+	// queue wait), then one job simulates for 10s.
+	now = now.Add(100 * time.Second)
+	p.markSimStarted()
+	now = now.Add(10 * time.Second)
+	p.jobDone(false, false)
+
+	if last.Elapsed != 110*time.Second {
+		t.Fatalf("Elapsed = %v, want 110s", last.Elapsed)
+	}
+	if last.SimElapsed != 10*time.Second {
+		t.Fatalf("SimElapsed = %v, want 10s (preload window excluded)", last.SimElapsed)
+	}
+	// ETA over the sim window: 10s for 1 simulated job, 4 pending → 40s.
+	// The old pool-lifetime window would have said 440s.
+	if last.ETA != 40*time.Second {
+		t.Fatalf("ETA = %v, want 40s", last.ETA)
+	}
+}
+
+// TestSimWindowEndToEnd: the same invariant through the public API — a
+// pool preloaded via LoadCheckpoint reports SimElapsed only once a job
+// actually simulates, and cache hits never open the window.
+func TestSimWindowEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	job := cfg(t, "bwaves", nil)
+
+	scratch := New(1)
+	var ckpt bytes.Buffer
+	scratch.WriteCheckpoints(&ckpt)
+	if _, err := scratch.Run(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+
+	p := New(1)
+	if _, err := p.LoadCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	var last Progress
+	p.OnProgress = func(pr Progress) { last = pr }
+	if _, err := p.Run(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	if last.CacheHits != 1 {
+		t.Fatalf("preloaded job not a cache hit: %+v", last)
+	}
+	if last.SimElapsed != 0 {
+		t.Fatalf("cache hit opened the sim window: SimElapsed=%v", last.SimElapsed)
+	}
+	fresh := cfg(t, "bwaves", func(c *sim.Config) { c.Seed = 99 })
+	if _, err := p.Run(ctx, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if last.SimElapsed <= 0 {
+		t.Fatalf("simulated job did not open the sim window: %+v", last)
+	}
+	if last.SimElapsed > last.Elapsed {
+		t.Fatalf("SimElapsed %v exceeds Elapsed %v", last.SimElapsed, last.Elapsed)
+	}
+}
+
+// TestOnJobPhase: simulated jobs report queue and run phases with sane
+// bounds, cache hits report nothing, and batched lanes each report their
+// group's shared window under their own key.
+func TestOnJobPhase(t *testing.T) {
+	ctx := context.Background()
+	p := New(2)
+	var mu sync.Mutex
+	phases := map[string][]string{}
+	p.OnJobPhase = func(key, phase string, start, end time.Time) {
+		if end.Before(start) {
+			t.Errorf("phase %s of %s ends before it starts", phase, key)
+		}
+		mu.Lock()
+		phases[key] = append(phases[key], phase)
+		mu.Unlock()
+	}
+	job := cfg(t, "bwaves", nil)
+	if _, err := p.Run(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(ctx, job); err != nil { // cache hit
+		t.Fatal(err)
+	}
+	key := job.Key()
+	mu.Lock()
+	got := phases[key]
+	mu.Unlock()
+	if len(got) != 2 || got[0] != PhaseQueue || got[1] != PhaseRun {
+		t.Fatalf("phases for simulated job = %v, want [queue run] exactly once", got)
+	}
+
+	// Batched lanes: every lane key reports the group's phases.
+	batched := []sim.Config{
+		cfg(t, "mcf", func(c *sim.Config) { c.Batch = 2; c.Seed = 1 }),
+		cfg(t, "mcf", func(c *sim.Config) { c.Batch = 2; c.Seed = 2 }),
+	}
+	if _, errs := p.RunAll(ctx, batched); FirstError(errs) != nil {
+		t.Fatal(FirstError(errs))
+	}
+	for _, c := range batched {
+		mu.Lock()
+		got := phases[c.Key()]
+		mu.Unlock()
+		if len(got) != 2 || got[0] != PhaseQueue || got[1] != PhaseRun {
+			t.Fatalf("phases for lane %s = %v, want [queue run]", c.Key(), got)
+		}
+	}
+}

@@ -26,47 +26,108 @@ func telemetryTestConfig() Config {
 	}
 }
 
+// tailWriter retains only the bytes after the last newline seen, mimicking
+// the bounded last-line sink a fleet worker arms for flight recording: O(1)
+// memory no matter how long the run streams metrics.
+type tailWriter struct {
+	tail []byte
+	n    int
+}
+
+func (w *tailWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if i := bytes.LastIndexByte(p, '\n'); i >= 0 {
+		w.tail = append(w.tail[:0], p[i+1:]...)
+	} else {
+		w.tail = append(w.tail, p...)
+	}
+	return len(p), nil
+}
+
 // TestTelemetryDoesNotChangeResult pins the package's observational
 // guarantee: a probed run produces a Result identical to the unprobed run —
 // same finish times, same statistics, and the same Events count even though
-// the sampler itself rides the event queue.
+// the sampler itself rides the event queue. Covered probe shapes: the full
+// capture a local -metrics/-trace run arms, and the flight-recorder shape a
+// distributed worker arms (tiny wrapping command ring + bounded tail sink),
+// which must be just as invisible even while the ring drops entries.
 func TestTelemetryDoesNotChangeResult(t *testing.T) {
 	plain := MustRun(telemetryTestConfig())
 
-	var buf bytes.Buffer
-	probed := telemetryTestConfig()
-	probed.Telemetry = &telemetry.Probe{
-		Metrics: &telemetry.MetricsConfig{Sink: telemetry.NewSink(&buf), Run: "probe"},
-		Trace:   telemetry.NewCommandTrace(1 << 14),
+	var full bytes.Buffer
+	var tail tailWriter
+	flightRing := telemetry.NewCommandTrace(256)
+	cases := []struct {
+		name  string
+		probe *telemetry.Probe
+		check func(t *testing.T)
+	}{
+		{
+			name: "full",
+			probe: &telemetry.Probe{
+				Metrics: &telemetry.MetricsConfig{Sink: telemetry.NewSink(&full), Run: "probe"},
+				Trace:   telemetry.NewCommandTrace(1 << 14),
+			},
+			check: func(t *testing.T) {
+				if full.Len() == 0 {
+					t.Fatal("probed run emitted no metrics")
+				}
+			},
+		},
+		{
+			name: "flight",
+			probe: &telemetry.Probe{
+				Metrics: &telemetry.MetricsConfig{Sink: telemetry.NewSink(&tail), Run: "flight"},
+				Trace:   flightRing,
+			},
+			check: func(t *testing.T) {
+				if tail.n == 0 {
+					t.Fatal("flight-style probe emitted no metrics")
+				}
+				if flightRing.Dropped() == 0 {
+					t.Fatal("flight ring never wrapped; case does not exercise bounded capture")
+				}
+				if flightRing.Len() != 256 {
+					t.Fatalf("flight ring holds %d commands, want full capacity 256", flightRing.Len())
+				}
+			},
+		},
 	}
-	got := MustRun(probed)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := telemetryTestConfig()
+			cfg.Telemetry = tc.probe
+			got := MustRun(cfg)
+			tc.check(t)
 
-	if buf.Len() == 0 {
-		t.Fatal("probed run emitted no metrics")
-	}
-	// Compare everything except Config (which differs by the probe pointer).
-	got.Config, plain.Config = Config{}, Config{}
-	if got.Elapsed != plain.Elapsed || got.Instructions != plain.Instructions {
-		t.Fatalf("probed run diverged: elapsed %v vs %v, instr %d vs %d",
-			got.Elapsed, plain.Elapsed, got.Instructions, plain.Instructions)
-	}
-	if got.Events != plain.Events {
-		t.Fatalf("probed run dispatched %d events vs %d unprobed (sampler events must be subtracted)",
-			got.Events, plain.Events)
-	}
-	if got.MC != plain.MC {
-		t.Fatalf("controller stats diverged:\nprobed   %+v\nunprobed %+v", got.MC, plain.MC)
-	}
-	if got.Dev != plain.Dev {
-		t.Fatalf("device stats diverged:\nprobed   %+v\nunprobed %+v", got.Dev, plain.Dev)
-	}
-	if got.Cache != plain.Cache {
-		t.Fatalf("cache stats diverged:\nprobed   %+v\nunprobed %+v", got.Cache, plain.Cache)
-	}
-	for i := range got.FinishTimes {
-		if got.FinishTimes[i] != plain.FinishTimes[i] {
-			t.Fatalf("core %d finish time diverged: %v vs %v", i, got.FinishTimes[i], plain.FinishTimes[i])
-		}
+			// Compare everything except Config (which differs by the probe
+			// pointer).
+			got.Config = Config{}
+			want := plain
+			want.Config = Config{}
+			if got.Elapsed != want.Elapsed || got.Instructions != want.Instructions {
+				t.Fatalf("probed run diverged: elapsed %v vs %v, instr %d vs %d",
+					got.Elapsed, want.Elapsed, got.Instructions, want.Instructions)
+			}
+			if got.Events != want.Events {
+				t.Fatalf("probed run dispatched %d events vs %d unprobed (sampler events must be subtracted)",
+					got.Events, want.Events)
+			}
+			if got.MC != want.MC {
+				t.Fatalf("controller stats diverged:\nprobed   %+v\nunprobed %+v", got.MC, want.MC)
+			}
+			if got.Dev != want.Dev {
+				t.Fatalf("device stats diverged:\nprobed   %+v\nunprobed %+v", got.Dev, want.Dev)
+			}
+			if got.Cache != want.Cache {
+				t.Fatalf("cache stats diverged:\nprobed   %+v\nunprobed %+v", got.Cache, want.Cache)
+			}
+			for i := range got.FinishTimes {
+				if got.FinishTimes[i] != want.FinishTimes[i] {
+					t.Fatalf("core %d finish time diverged: %v vs %v", i, got.FinishTimes[i], want.FinishTimes[i])
+				}
+			}
+		})
 	}
 }
 

@@ -23,14 +23,21 @@ import (
 // SweepSnapshot is one point-in-time view of a running sweep, as rendered
 // under /debug/vars.
 type SweepSnapshot struct {
-	JobsDone     int     `json:"jobs_done"`
-	JobsTotal    int     `json:"jobs_total"`
-	CacheHits    int     `json:"cache_hits"`
-	Failed       int     `json:"failed"`
-	Events       int64   `json:"events"`
+	JobsDone  int   `json:"jobs_done"`
+	JobsTotal int   `json:"jobs_total"`
+	CacheHits int   `json:"cache_hits"`
+	Failed    int   `json:"failed"`
+	Events    int64 `json:"events"`
+	// EventsPerSec is events over the simulation window (SimElapsedMS),
+	// not pool lifetime: a resumed sweep's cache/store-hit preload
+	// answers jobs without simulating, and counting that wall time (or
+	// pretending the preloaded events were just computed) skews the rate.
 	EventsPerSec float64 `json:"events_per_sec"`
 	ElapsedMS    int64   `json:"elapsed_ms"`
-	ETAMS        int64   `json:"eta_ms"`
+	// SimElapsedMS is the time since the first actual simulation started
+	// (0 until one does); see runner.Progress.SimElapsed.
+	SimElapsedMS int64 `json:"sim_elapsed_ms"`
+	ETAMS        int64 `json:"eta_ms"`
 }
 
 // SweepStatus holds the latest SweepSnapshot; the runner's OnProgress
@@ -47,18 +54,21 @@ func NewSweepStatus() *SweepStatus {
 }
 
 // Update publishes a new snapshot, computing the derived rate from events
-// and elapsed wall time.
-func (s *SweepStatus) Update(done, total, cacheHits, failed int, events int64, elapsed, eta time.Duration) {
+// and the simulation window (simElapsed — see runner.Progress.SimElapsed;
+// zero while the sweep is still draining a cache/store-hit preload, which
+// must not count toward throughput).
+func (s *SweepStatus) Update(done, total, cacheHits, failed int, events int64, elapsed, simElapsed, eta time.Duration) {
 	snap := &SweepSnapshot{
-		JobsDone:  done,
-		JobsTotal: total,
-		CacheHits: cacheHits,
-		Failed:    failed,
-		Events:    events,
-		ElapsedMS: elapsed.Milliseconds(),
-		ETAMS:     eta.Milliseconds(),
+		JobsDone:     done,
+		JobsTotal:    total,
+		CacheHits:    cacheHits,
+		Failed:       failed,
+		Events:       events,
+		ElapsedMS:    elapsed.Milliseconds(),
+		SimElapsedMS: simElapsed.Milliseconds(),
+		ETAMS:        eta.Milliseconds(),
 	}
-	if sec := elapsed.Seconds(); sec > 0 {
+	if sec := simElapsed.Seconds(); sec > 0 {
 		snap.EventsPerSec = float64(events) / sec
 	}
 	s.cur.Store(snap)

@@ -321,7 +321,7 @@ func TestSweepStatus(t *testing.T) {
 	if snap := st.Snapshot(); snap.JobsTotal != 0 {
 		t.Fatalf("fresh status = %+v", snap)
 	}
-	st.Update(3, 10, 1, 0, 4_000_000, 2*time.Second, 5*time.Second)
+	st.Update(3, 10, 1, 0, 4_000_000, 3*time.Second, 2*time.Second, 5*time.Second)
 	snap := st.Snapshot()
 	if snap.JobsDone != 3 || snap.JobsTotal != 10 || snap.CacheHits != 1 {
 		t.Fatalf("snapshot = %+v", snap)
@@ -329,8 +329,8 @@ func TestSweepStatus(t *testing.T) {
 	if snap.EventsPerSec != 2_000_000 {
 		t.Fatalf("events/sec = %v, want 2e6", snap.EventsPerSec)
 	}
-	if snap.ElapsedMS != 2000 || snap.ETAMS != 5000 {
-		t.Fatalf("elapsed/eta = %d/%d ms", snap.ElapsedMS, snap.ETAMS)
+	if snap.ElapsedMS != 3000 || snap.SimElapsedMS != 2000 || snap.ETAMS != 5000 {
+		t.Fatalf("elapsed/sim/eta = %d/%d/%d ms", snap.ElapsedMS, snap.SimElapsedMS, snap.ETAMS)
 	}
 	var m map[string]interface{}
 	if err := json.Unmarshal([]byte(st.String()), &m); err != nil {
@@ -348,7 +348,7 @@ func TestPublishSweepRepointable(t *testing.T) {
 	a, b := NewSweepStatus(), NewSweepStatus()
 	PublishSweep(a)
 	PublishSweep(b)
-	b.Update(7, 9, 0, 0, 0, time.Second, 0)
+	b.Update(7, 9, 0, 0, 0, time.Second, time.Second, 0)
 	if cur := publishedVar.Load(); cur != b {
 		t.Fatal("expvar not repointed to the latest status")
 	}

@@ -153,6 +153,15 @@ func (t *CommandTrace) Record(tick, dur clk.Tick, kind CommandKind, cause Cause,
 	t.n++
 }
 
+// Reset empties the ring for reuse on the next run, keeping its backing
+// array (the worker fleet arms one bounded ring per job without
+// reallocating).
+func (t *CommandTrace) Reset() {
+	t.head = 0
+	t.n = 0
+	t.dropped = 0
+}
+
 // Len returns the number of retained commands.
 func (t *CommandTrace) Len() int { return t.n }
 
